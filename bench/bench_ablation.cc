@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation study of Warped-Slicer's design choices (DESIGN.md §4).
+ * Over a representative subset of pairs (two per category), measures
+ * the contribution of:
+ *   - the Equation 3 bandwidth scaling of profile samples,
+ *   - the shared-bandwidth interference constraint in water-filling,
+ *   - the warm-up period before the first profile,
+ *   - the phase monitor,
+ *   - the spatial-multitasking fallback threshold.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+const std::vector<WorkloadPair> kSubset = {
+    {"IMG", "NN", "Compute+Cache"},   {"MM", "MVP", "Compute+Cache"},
+    {"HOT", "BLK", "Compute+Memory"}, {"MM", "LBM", "Compute+Memory"},
+    {"HOT", "IMG", "Compute+Compute"}, {"MM", "DXT", "Compute+Compute"},
+};
+
+double
+gmeanOver(const GpuConfig &cfg, Characterization &chars,
+          const WarpedSlicerOptions &slicer)
+{
+    std::vector<double> vals;
+    for (const WorkloadPair &pair : kSubset) {
+        const std::vector<KernelParams> apps = {benchmark(pair.first),
+                                                benchmark(pair.second)};
+        const std::vector<std::uint64_t> targets = {
+            chars.target(pair.first), chars.target(pair.second)};
+        const CoRunResult left =
+            runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
+        CoRunOptions opts;
+        opts.slicer = slicer;
+        const CoRunResult r = runCoSchedule(
+            apps, targets, PolicyKind::Dynamic, cfg, opts);
+        vals.push_back(r.sysIpc / left.sysIpc);
+    }
+    return geomean(vals);
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    Characterization chars(cfg, window);
+    const WarpedSlicerOptions base = scaledSlicerOptions(window);
+
+    std::printf("Ablation: Warped-Slicer design choices "
+                "(GMEAN normalized IPC over %zu pairs)\n\n",
+                kSubset.size());
+
+    struct Variant
+    {
+        const char *name;
+        WarpedSlicerOptions opts;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"full design (default)", base});
+    {
+        WarpedSlicerOptions o = base;
+        o.bwScaling = false;
+        variants.push_back({"- Eq.3 bandwidth scaling", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.bwConstraint = false;
+        variants.push_back({"- bandwidth constraint", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.bwScaling = false;
+        o.bwConstraint = false;
+        variants.push_back({"- both bandwidth terms", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.warmup = 0;
+        variants.push_back({"- warm-up (profile at t=0)", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.phaseMonitor = false;
+        variants.push_back({"- phase monitor", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.lossThresholdScale = 0.0;  // never fall back
+        variants.push_back({"- spatial fallback", o});
+    }
+    {
+        WarpedSlicerOptions o = base;
+        o.profileLength /= 4;
+        variants.push_back({"quarter-length profile", o});
+    }
+
+    double ref = 0.0;
+    for (const Variant &v : variants) {
+        const double g = gmeanOver(cfg, chars, v.opts);
+        if (ref == 0.0)
+            ref = g;
+        std::printf("  %-28s %6.3f (%+.1f%% vs full)\n", v.name, g,
+                    100.0 * (g - ref) / ref);
+        std::fflush(stdout);
+    }
+    return 0;
+}

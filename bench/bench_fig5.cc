@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: validity of the 5 K-cycle sampling window.
+ * For each benchmark, per-window IPC (per SM) and phi_mem (fraction of
+ * scheduler slots stalled on memory) are printed over a 50 K-cycle solo
+ * execution; the first window is the one Warped-Slicer samples. If the
+ * sampled values track the long-run values, the short profile
+ * characterizes the kernel accurately.
+ */
+
+#include <cstdio>
+
+#include "core/policies.hh"
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = 5000;
+    const unsigned num_windows = 10;
+
+    std::printf("Figure 5: 5K-cycle sampling window vs 50K-cycle "
+                "behavior (per-SM IPC / phi_mem per window)\n\n");
+
+    for (const KernelParams &k : allBenchmarks()) {
+        Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+        const KernelId kid = gpu.launchKernel(k);
+        std::uint64_t prev_insts = 0;
+        std::uint64_t prev_mem = 0;
+        double sampled_ipc = 0.0;
+        double sum_ipc = 0.0;
+        std::printf("%-4s ipc: ", k.name.c_str());
+        for (unsigned w = 0; w < num_windows; ++w) {
+            gpu.run(window * (w + 1) - gpu.cycle());
+            const GpuStats s = gpu.collectStats();
+            const std::uint64_t insts = s.warpInstsIssued;
+            const std::uint64_t mem =
+                s.stalls[static_cast<unsigned>(StallKind::MemLatency)];
+            const double ipc =
+                static_cast<double>(insts - prev_insts) /
+                (window * cfg.numSms);
+            const double phi =
+                static_cast<double>(mem - prev_mem) /
+                (static_cast<double>(window) * cfg.numSms *
+                 cfg.numSchedulers);
+            if (w == 0)
+                sampled_ipc = ipc;
+            sum_ipc += ipc;
+            std::printf("%.2f/%.2f ", ipc, phi);
+            prev_insts = insts;
+            prev_mem = mem;
+        }
+        const double avg_ipc = sum_ipc / num_windows;
+        std::printf("  [sample %.2f vs 50K-avg %.2f, err %+.0f%%]\n",
+                    sampled_ipc, avg_ipc,
+                    avg_ipc > 0.0
+                        ? 100.0 * (sampled_ipc - avg_ipc) / avg_ipc
+                        : 0.0);
+        (void)kid;
+    }
+    std::printf("\nPaper reference: the 5K window provides a fairly "
+                "accurate characterization of the entire kernel\n"
+                "execution (Figure 5); the first window includes "
+                "cold-start effects, later windows are stable.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Reproduces paper Figure 7 over the 30 evaluation pairs:
+ *  (a) resource utilization (ALU/SFU/LDST pipes, register file, shared
+ *      memory) of Warped-Slicer normalized to Even partitioning;
+ *  (b) L1/L2 miss rates per policy, split into Compute+Cache and
+ *      Compute+Non-Cache pair categories;
+ *  (c) issue-stall breakdown per policy.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+struct Accum
+{
+    double aluUtil = 0, sfuUtil = 0, ldstUtil = 0;
+    double regUtil = 0, shmUtil = 0;
+    double l1MissCache = 0, l2MissCache = 0;
+    double l1MissNon = 0, l2MissNon = 0;
+    unsigned nCache = 0, nNon = 0;
+    double stallMem = 0, stallRaw = 0, stallExe = 0, stallIbuf = 0;
+    unsigned n = 0;
+
+    void
+    add(const GpuStats &s, const GpuConfig &cfg, bool cache_pair)
+    {
+        const double cyc = static_cast<double>(s.cycles) * cfg.numSms;
+        const double sched = cyc * cfg.numSchedulers;
+        aluUtil += s.aluBusyCycles / (cyc * cfg.numAluPipes);
+        sfuUtil += s.sfuBusyCycles / cyc;
+        ldstUtil += s.ldstBusyCycles / cyc;
+        regUtil += s.regsAllocatedIntegral / (cyc * cfg.numRegsPerSm);
+        shmUtil += s.shmAllocatedIntegral / (cyc * cfg.sharedMemPerSm);
+        if (cache_pair) {
+            l1MissCache += s.l1MissRate();
+            l2MissCache += s.l2MissRate();
+            ++nCache;
+        } else {
+            l1MissNon += s.l1MissRate();
+            l2MissNon += s.l2MissRate();
+            ++nNon;
+        }
+        stallMem +=
+            s.stalls[static_cast<unsigned>(StallKind::MemLatency)] /
+            sched;
+        stallRaw +=
+            s.stalls[static_cast<unsigned>(StallKind::RawHazard)] /
+            sched;
+        stallExe +=
+            s.stalls[static_cast<unsigned>(StallKind::ExecResource)] /
+            sched;
+        stallIbuf +=
+            s.stalls[static_cast<unsigned>(StallKind::IBufferEmpty)] /
+            sched;
+        ++n;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    Characterization chars(cfg, window);
+
+    std::map<PolicyKind, Accum> acc;
+    for (const WorkloadPair &pair : evaluationPairs()) {
+        const std::vector<KernelParams> apps = {benchmark(pair.first),
+                                                benchmark(pair.second)};
+        const std::vector<std::uint64_t> targets = {
+            chars.target(pair.first), chars.target(pair.second)};
+        const bool cache_pair = pair.category == "Compute+Cache";
+        for (PolicyKind kind :
+             {PolicyKind::LeftOver, PolicyKind::Spatial,
+              PolicyKind::Even, PolicyKind::Dynamic}) {
+            CoRunOptions opts;
+            opts.slicer = scaledSlicerOptions(window);
+            const CoRunResult r =
+                runCoSchedule(apps, targets, kind, cfg, opts);
+            acc[kind].add(r.stats, cfg, cache_pair);
+        }
+    }
+
+    const Accum &even = acc[PolicyKind::Even];
+    const Accum &dyn = acc[PolicyKind::Dynamic];
+    std::printf("Figure 7a: Warped-Slicer resource utilization "
+                "normalized to Even partitioning (30-pair mean)\n");
+    std::printf("  %-6s %-6s %-6s %-6s %-6s\n", "ALU", "SFU", "LDST",
+                "REG", "SHM");
+    std::printf("  %-6.2f %-6.2f %-6.2f %-6.2f %-6.2f\n",
+                dyn.aluUtil / even.aluUtil, dyn.sfuUtil / even.sfuUtil,
+                dyn.ldstUtil / even.ldstUtil,
+                dyn.regUtil / even.regUtil,
+                dyn.shmUtil / even.shmUtil);
+    std::printf("  (paper: Warped-Slicer >= ~1.15x Even across "
+                "resources)\n\n");
+
+    std::printf("Figure 7b: cache miss rates by policy\n");
+    std::printf("  %-9s %-20s %-20s\n", "", "Compute+Cache",
+                "Compute+Non-Cache");
+    std::printf("  %-9s %-9s %-10s %-9s %-10s\n", "Policy", "L1D",
+                "L2", "L1D", "L2");
+    for (PolicyKind kind :
+         {PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even,
+          PolicyKind::Dynamic}) {
+        const Accum &a = acc[kind];
+        std::printf("  %-9s %8.1f%% %9.1f%% %8.1f%% %9.1f%%\n",
+                    policyName(kind), 100.0 * a.l1MissCache / a.nCache,
+                    100.0 * a.l2MissCache / a.nCache,
+                    100.0 * a.l1MissNon / a.nNon,
+                    100.0 * a.l2MissNon / a.nNon);
+    }
+    std::printf("  (paper: Warped-Slicer has the lowest L1 miss rate "
+                "for Compute+Cache pairs;\n   intra-SM sharing raises "
+                "L1 misses for Compute+Non-Cache pairs)\n\n");
+
+    std::printf("Figure 7c: issue-stall breakdown "
+                "(%% of scheduler slots, 30-pair mean)\n");
+    std::printf("  %-9s %7s %7s %7s %8s %7s\n", "Policy", "MEM", "RAW",
+                "EXE", "IBUFFER", "Total");
+    for (PolicyKind kind :
+         {PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even,
+          PolicyKind::Dynamic}) {
+        const Accum &a = acc[kind];
+        const double mem = 100.0 * a.stallMem / a.n;
+        const double raw = 100.0 * a.stallRaw / a.n;
+        const double exe = 100.0 * a.stallExe / a.n;
+        const double ibuf = 100.0 * a.stallIbuf / a.n;
+        std::printf("  %-9s %6.1f%% %6.1f%% %6.1f%% %7.1f%% %6.1f%%\n",
+                    policyName(kind), mem, raw, exe, ibuf,
+                    mem + raw + exe + ibuf);
+    }
+    std::printf("  (paper: Warped-Slicer cuts long-memory stalls the "
+                "most; ~15%% fewer total stalls than Left-Over)\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: fairness (minimum speedup, 9a) and
+ * average normalized turnaround time (ANTT, 9b) for 2-kernel and
+ * 3-kernel workloads under each policy, normalized to Left-Over where
+ * the paper does so.
+ *
+ * Speedups are measured against each application running alone on the
+ * whole GPU for the same instruction target (= the characterization
+ * window by construction).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+struct Totals
+{
+    std::vector<double> fairness;
+    std::vector<double> antts;
+};
+
+void
+runSet(const std::vector<std::vector<std::string>> &sets,
+       const GpuConfig &cfg, Characterization &chars, Cycle window,
+       std::map<PolicyKind, Totals> &out)
+{
+    for (const auto &names : sets) {
+        std::vector<KernelParams> apps;
+        std::vector<std::uint64_t> targets;
+        for (const std::string &name : names) {
+            apps.push_back(benchmark(name));
+            targets.push_back(chars.target(name));
+        }
+        for (PolicyKind kind :
+             {PolicyKind::LeftOver, PolicyKind::Spatial,
+              PolicyKind::Even, PolicyKind::Dynamic}) {
+            CoRunOptions opts;
+            opts.slicer = scaledSlicerOptions(window);
+            CoRunResult r =
+                runCoSchedule(apps, targets, kind, cfg, opts);
+            for (std::size_t i = 0; i < names.size(); ++i)
+                r.apps[i].aloneCycles = chars.aloneCycles(names[i]);
+            out[kind].fairness.push_back(minimumSpeedup(r.apps));
+            out[kind].antts.push_back(antt(r.apps));
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    Characterization chars(cfg, window);
+
+    std::vector<std::vector<std::string>> pairs;
+    for (const WorkloadPair &p : evaluationPairs())
+        pairs.push_back({p.first, p.second});
+
+    std::map<PolicyKind, Totals> two, three;
+    runSet(pairs, cfg, chars, window, two);
+    runSet(evaluationTriples(), cfg, chars, window, three);
+
+    const PolicyKind kinds[] = {PolicyKind::LeftOver,
+                                PolicyKind::Spatial, PolicyKind::Even,
+                                PolicyKind::Dynamic};
+
+    std::printf("Figure 9a: fairness (minimum speedup), normalized to "
+                "Left-Over\n");
+    std::printf("  %-9s %10s %10s\n", "Policy", "2 Kernels",
+                "3 Kernels");
+    const double base2 = geomean(two[PolicyKind::LeftOver].fairness);
+    const double base3 = geomean(three[PolicyKind::LeftOver].fairness);
+    for (PolicyKind kind : kinds) {
+        std::printf("  %-9s %10.3f %10.3f\n", policyName(kind),
+                    geomean(two[kind].fairness) / base2,
+                    geomean(three[kind].fairness) / base3);
+    }
+    std::printf("  (paper: Dynamic improves fairness vs Even by ~14%% "
+                "for 2 kernels, ~23%% for 3)\n\n");
+
+    std::printf("Figure 9b: average normalized turnaround time "
+                "(lower is better)\n");
+    std::printf("  %-9s %10s %10s\n", "Policy", "2 Kernels",
+                "3 Kernels");
+    for (PolicyKind kind : kinds) {
+        std::printf("  %-9s %10.3f %10.3f\n", policyName(kind),
+                    geomean(two[kind].antts),
+                    geomean(three[kind].antts));
+    }
+    std::printf("  (paper: Dynamic cuts ANTT vs Even by ~15%% with 3 "
+                "kernels)\n");
+    return 0;
+}

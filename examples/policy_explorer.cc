@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Interactive exploration of the intra-SM partitioning space for any
+ * benchmark pair: measures the real system IPC for every feasible CTA
+ * combination (the oracle's search space), prints the resulting
+ * surface, and compares against what water-filling chooses when given
+ * the true solo occupancy curves (the paper's "oracle knowledge"
+ * variant from Section IV).
+ *
+ * Usage: example_policy_explorer [BENCH1 BENCH2]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/waterfill.hh"
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+int
+main(int argc, char **argv)
+{
+    const std::string a = argc > 2 ? argv[1] : "HOT";
+    const std::string b = argc > 2 ? argv[2] : "BLK";
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow() / 2;
+    Characterization chars(cfg, window);
+
+    const std::vector<KernelParams> apps = {benchmark(a), benchmark(b)};
+    const std::vector<std::uint64_t> targets = {chars.target(a),
+                                                chars.target(b)};
+    const CoRunResult left =
+        runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
+
+    std::printf("Partitioning space for %s + %s (normalized IPC vs "
+                "Left-Over):\n\n      ", a.c_str(), b.c_str());
+    const unsigned max_b = apps[1].maxCtasPerSm(cfg);
+    for (unsigned tb = 1; tb <= max_b; ++tb)
+        std::printf(" %s=%-4u", b.c_str(), tb);
+    std::printf("\n");
+
+    double best = 0.0;
+    int best_a = 0, best_b = 0;
+    const auto combos = enumerateFeasibleCombos(apps, cfg);
+    const unsigned max_a = apps[0].maxCtasPerSm(cfg);
+    std::vector<std::vector<double>> surface(
+        max_a + 1, std::vector<double>(max_b + 1, 0.0));
+    for (const auto &combo : combos) {
+        CoRunOptions opts;
+        opts.fixedQuotas = combo;
+        const CoRunResult r =
+            runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg,
+                          opts);
+        const double norm = r.sysIpc / left.sysIpc;
+        surface[combo[0]][combo[1]] = norm;
+        if (norm > best) {
+            best = norm;
+            best_a = combo[0];
+            best_b = combo[1];
+        }
+    }
+    for (unsigned ta = 1; ta <= max_a; ++ta) {
+        std::printf("%s=%-2u", a.c_str(), ta);
+        for (unsigned tb = 1; tb <= max_b; ++tb) {
+            if (surface[ta][tb] > 0.0)
+                std::printf(" %6.3f", surface[ta][tb]);
+            else
+                std::printf("      -");
+        }
+        std::printf("\n");
+    }
+    std::printf("\nBest fixed partition: (%d,%d) at %.3fx "
+                "Left-Over\n", best_a, best_b, best);
+
+    // Water-filling with oracle knowledge: feed the true solo curves.
+    std::vector<KernelDemand> demands;
+    for (const KernelParams &k : apps) {
+        KernelDemand d;
+        d.perCta = ResourceVec::ofCta(k);
+        for (unsigned q = 1; q <= k.maxCtasPerSm(cfg); ++q)
+            d.perf.push_back(
+                runSoloForCycles(k, cfg, window / 2, q).warpIpc());
+        demands.push_back(std::move(d));
+    }
+    const WaterFillResult wf =
+        waterFill(demands, ResourceVec::capacity(cfg));
+    std::printf("Water-filling with oracle solo curves picks (%d,%d), "
+                "measured %.3fx\n",
+                wf.ctas[0], wf.ctas[1],
+                surface[wf.ctas[0]][wf.ctas[1]]);
+
+    CoRunOptions opts;
+    opts.slicer = scaledSlicerOptions(window);
+    const CoRunResult dyn =
+        runCoSchedule(apps, targets, PolicyKind::Dynamic, cfg, opts);
+    if (dyn.spatialFallback) {
+        std::printf("Online Warped-Slicer fell back to spatial: "
+                    "%.3fx\n", dyn.sysIpc / left.sysIpc);
+    } else {
+        std::printf("Online Warped-Slicer picks (%d,%d): %.3fx\n",
+                    dyn.chosenCtas[0], dyn.chosenCtas[1],
+                    dyn.sysIpc / left.sysIpc);
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a 16-SM GPU, co-run a compute kernel (IMG) with an
+ * L1-cache-sensitive kernel (NN) under the Warped-Slicer dynamic policy,
+ * and print what the partitioner decided and what it bought.
+ *
+ * Usage: example_quickstart [BENCH1 BENCH2]
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+int
+main(int argc, char **argv)
+{
+    const std::string a = argc > 2 ? argv[1] : "IMG";
+    const std::string b = argc > 2 ? argv[2] : "NN";
+
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    Characterization chars(cfg, window);
+
+    std::printf("Characterizing %s and %s alone for %llu cycles...\n",
+                a.c_str(), b.c_str(),
+                static_cast<unsigned long long>(window));
+    const std::vector<KernelParams> apps = {benchmark(a), benchmark(b)};
+    const std::vector<std::uint64_t> targets = {chars.target(a),
+                                                chars.target(b)};
+    std::printf("  %s: %llu thread insts (solo IPC %.2f)\n", a.c_str(),
+                static_cast<unsigned long long>(targets[0]),
+                chars.solo(a).warpIpc());
+    std::printf("  %s: %llu thread insts (solo IPC %.2f)\n", b.c_str(),
+                static_cast<unsigned long long>(targets[1]),
+                chars.solo(b).warpIpc());
+
+    std::printf("\nCo-running under each multiprogramming policy:\n");
+    double leftover_ipc = 0.0;
+    for (PolicyKind kind :
+         {PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even,
+          PolicyKind::Dynamic}) {
+        CoRunOptions opts;
+        opts.slicer = scaledSlicerOptions(window);
+        const CoRunResult r =
+            runCoSchedule(apps, targets, kind, cfg, opts);
+        if (kind == PolicyKind::LeftOver)
+            leftover_ipc = r.sysIpc;
+        std::printf("  %-8s makespan %8llu cycles, system IPC %6.2f "
+                    "(%.2fx vs Left-Over)",
+                    policyName(kind),
+                    static_cast<unsigned long long>(r.makespan),
+                    r.sysIpc, r.sysIpc / leftover_ipc);
+        if (kind == PolicyKind::Dynamic) {
+            if (r.spatialFallback) {
+                std::printf("  [fell back to spatial]");
+            } else if (r.chosenCtas.size() == 2) {
+                std::printf("  [chose (%d,%d) CTAs]", r.chosenCtas[0],
+                            r.chosenCtas[1]);
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Scenario: dynamic repartitioning when a third kernel arrives mid-run
+ * (paper Figure 2e). Two compute kernels share the GPU; at a given
+ * cycle a cache-sensitive kernel is launched, Warped-Slicer re-profiles
+ * all three and re-partitions each SM.
+ *
+ * Usage: example_three_tenants [ARRIVAL_CYCLE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/warped_slicer.hh"
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+void
+printResidency(Gpu &gpu, const char *tag)
+{
+    std::printf("%s residency per SM:", tag);
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        std::printf(" ");
+        for (std::size_t k = 0; k < gpu.numKernels(); ++k)
+            std::printf("%s%u", k ? "/" : "",
+                        gpu.sm(s).residentCtas(static_cast<int>(k)));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    const Cycle arrival =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+    Characterization chars(cfg, window);
+
+    const WarpedSlicerOptions opts = scaledSlicerOptions(window);
+    auto policy = std::make_unique<WarpedSlicerPolicy>(opts);
+    WarpedSlicerPolicy *dyn = policy.get();
+    Gpu gpu(cfg, std::move(policy));
+
+    std::printf("t=0: launching MM and IMG\n");
+    gpu.launchKernel(benchmark("MM"), chars.target("MM") * 3);
+    gpu.launchKernel(benchmark("IMG"), chars.target("IMG") * 3);
+
+    gpu.run(opts.warmup + opts.profileLength + 200);
+    const WaterFillResult first = dyn->lastDecision();
+    std::printf("t=%llu: first decision (MM,IMG) = (%d,%d), rounds=%u\n",
+                static_cast<unsigned long long>(gpu.cycle()),
+                first.ctas[0], first.ctas[1], dyn->profileRounds());
+    gpu.run(arrival - gpu.cycle());
+    printResidency(gpu, "  pre-arrival ");
+
+    std::printf("t=%llu: NN arrives — repartitioning for three "
+                "kernels\n",
+                static_cast<unsigned long long>(gpu.cycle()));
+    gpu.launchKernel(benchmark("NN"), chars.target("NN") * 2);
+    // Three kernels profile in two time-shared sub-windows.
+    gpu.run(2 * opts.profileLength + 400);
+    const WaterFillResult &d = dyn->lastDecision();
+    if (dyn->usedSpatialFallback()) {
+        std::printf("t=%llu: decision: spatial fallback\n",
+                    static_cast<unsigned long long>(gpu.cycle()));
+    } else if (d.ctas.size() == 3) {
+        std::printf("t=%llu: decision (MM,IMG,NN) = (%d,%d,%d), "
+                    "min predicted perf %.0f%%\n",
+                    static_cast<unsigned long long>(gpu.cycle()),
+                    d.ctas[0], d.ctas[1], d.ctas[2],
+                    100.0 * d.minNormPerf);
+    } else {
+        std::printf("t=%llu: three-kernel decision still pending\n",
+                    static_cast<unsigned long long>(gpu.cycle()));
+    }
+
+    // Let the over-quota CTAs drain (no preemption: paper Figure 2e),
+    // then show the steady state.
+    gpu.run(40000);
+    printResidency(gpu, "  post-arrival");
+
+    gpu.run(100'000'000);
+    std::printf("\nAll kernels finished at cycle %llu:\n",
+                static_cast<unsigned long long>(gpu.cycle()));
+    const char *names[3] = {"MM", "IMG", "NN"};
+    for (std::size_t k = 0; k < gpu.numKernels(); ++k) {
+        const KernelInstance &inst =
+            gpu.kernel(static_cast<KernelId>(k));
+        std::printf("  %-4s finished at %llu (launched %llu)\n",
+                    names[k],
+                    static_cast<unsigned long long>(inst.finishCycle),
+                    static_cast<unsigned long long>(inst.launchCycle));
+    }
+    std::printf("profile rounds run: %u\n", dyn->profileRounds());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 panic/fatal
+ * distinction: panic() flags a simulator bug, fatal() flags a user error.
+ */
+
+#ifndef WSL_COMMON_LOG_HH
+#define WSL_COMMON_LOG_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wsl {
+
+namespace detail {
+
+inline std::string
+concat()
+{
+    return {};
+}
+
+template <typename T, typename... Rest>
+std::string
+concat(const T &head, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << head;
+    return os.str() + concat(rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use when a condition can
+ * only arise from broken simulator logic, never from user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::cerr << "panic: " << detail::concat(args...) << std::endl;
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with a failure code.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::cerr << "fatal: " << detail::concat(args...) << std::endl;
+    std::exit(1);
+}
+
+/** Warn about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::concat(args...) << std::endl;
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << detail::concat(args...) << std::endl;
+}
+
+/** panic() unless the invariant holds. */
+#define WSL_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::wsl::panic("assertion failed: ", #cond, " — ", msg);          \
+    } while (0)
+
+} // namespace wsl
+
+#endif // WSL_COMMON_LOG_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic choice
+ * in the simulator draws from a seeded Rng so that runs are reproducible.
+ */
+
+#ifndef WSL_COMMON_RNG_HH
+#define WSL_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wsl {
+
+/**
+ * xorshift64* generator: tiny, fast, and good enough for workload
+ * synthesis and tie-breaking. Not for cryptography.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : state(seed ? seed : 0x9e3779b9) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, n). n must be non-zero. */
+    std::uint64_t range(std::uint64_t n) { return next() % n; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Stateless mixing hash, used where a reproducible "random" value must be
+ * derived from coordinates (e.g., scatter access addresses) without
+ * perturbing any generator state.
+ */
+inline std::uint64_t
+mixHash(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+        std::uint64_t c = 0xbf58476d1ce4e5b9ULL)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL + c;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace wsl
+
+#endif // WSL_COMMON_RNG_HH

@@ -1,0 +1,55 @@
+#include "common/stats.hh"
+
+#include <numeric>
+
+namespace wsl {
+
+const char *
+stallKindName(StallKind kind)
+{
+    switch (kind) {
+      case StallKind::MemLatency:   return "LongMemoryLatency";
+      case StallKind::RawHazard:    return "ShortRawHazard";
+      case StallKind::ExecResource: return "ExecResource";
+      case StallKind::IBufferEmpty: return "IBufferEmpty";
+      case StallKind::Barrier:      return "Barrier";
+      case StallKind::Idle:         return "Idle";
+      default:                      return "Unknown";
+    }
+}
+
+std::uint64_t
+SmStats::stallTotal() const
+{
+    return std::accumulate(stalls.begin(), stalls.end(),
+                           std::uint64_t{0});
+}
+
+double
+GpuStats::ipc() const
+{
+    return cycles ? static_cast<double>(warpInstsIssued) / cycles : 0.0;
+}
+
+double
+GpuStats::l2Mpki() const
+{
+    return warpInstsIssued
+        ? 1000.0 * l2Misses / static_cast<double>(warpInstsIssued) : 0.0;
+}
+
+double
+GpuStats::l1MissRate() const
+{
+    return l1Accesses
+        ? static_cast<double>(l1Misses) / l1Accesses : 0.0;
+}
+
+double
+GpuStats::l2MissRate() const
+{
+    return l2Accesses
+        ? static_cast<double>(l2Misses) / l2Accesses : 0.0;
+}
+
+} // namespace wsl

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Statistics counters. Plain structs of named counters, sampled and
+ * diffed by the profiler and the experiment harness.
+ */
+
+#ifndef WSL_COMMON_STATS_HH
+#define WSL_COMMON_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+/**
+ * Why a warp scheduler failed to issue in a cycle (paper Figure 1
+ * categories plus bookkeeping extras).
+ */
+enum class StallKind : unsigned
+{
+    MemLatency,    //!< all/most candidate warps wait on outstanding loads
+    RawHazard,     //!< short RAW on an ALU/SFU result in flight
+    ExecResource,  //!< ready warp but required pipeline/queue busy
+    IBufferEmpty,  //!< warps awaiting instruction fetch
+    Barrier,       //!< warps parked at a CTA barrier
+    Idle,          //!< no resident unfinished warps
+    NumKinds
+};
+
+constexpr unsigned numStallKinds =
+    static_cast<unsigned>(StallKind::NumKinds);
+
+/** Human-readable stall name. */
+const char *stallKindName(StallKind kind);
+
+/** Per-SM counters, reset at simulation start. */
+struct SmStats
+{
+    std::uint64_t cycles = 0;            //!< cycles this SM was ticked
+    std::uint64_t warpInstsIssued = 0;   //!< warp instructions issued
+    std::uint64_t threadInstsIssued = 0; //!< thread instructions issued
+
+    /** Issued warp instructions attributed per resident kernel. */
+    std::array<std::uint64_t, maxConcurrentKernels> kernelWarpInsts{};
+    std::array<std::uint64_t, maxConcurrentKernels> kernelThreadInsts{};
+
+    /** Scheduler-cycles lost per stall reason (2 schedulers => 2/cycle). */
+    std::array<std::uint64_t, numStallKinds> stalls{};
+
+    // Pipeline occupancy (busy cycles accumulated per unit instance).
+    std::uint64_t aluBusyCycles = 0;  //!< summed over all ALU pipes
+    std::uint64_t sfuBusyCycles = 0;
+    /** Cycles the LDST unit is occupied or backpressured (matches
+     *  GPGPU-Sim's notion of LDST utilization: a stalled memory access
+     *  holds the unit). */
+    std::uint64_t ldstBusyCycles = 0;
+    std::uint64_t ldstIssues = 0;  //!< memory instructions issued
+
+    // Storage occupancy, accumulated each cycle for time-weighted use.
+    std::uint64_t regsAllocatedIntegral = 0;
+    std::uint64_t shmAllocatedIntegral = 0;
+    std::uint64_t threadsAllocatedIntegral = 0;
+
+    // Memory access counters.
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t shmAccesses = 0;
+    std::uint64_t regReads = 0;
+    std::uint64_t regWrites = 0;
+    std::uint64_t ctasLaunched = 0;
+    std::uint64_t ctasCompleted = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t ifetchMisses = 0;
+
+    std::uint64_t stallTotal() const;
+};
+
+/** Per-memory-partition counters. */
+struct PartitionStats
+{
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramBusyCycles = 0;  //!< data-bus busy cycles
+};
+
+/** Whole-GPU aggregates, updated by Gpu::collectStats(). */
+struct GpuStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t warpInstsIssued = 0;
+    std::uint64_t threadInstsIssued = 0;
+    std::array<std::uint64_t, maxConcurrentKernels> kernelWarpInsts{};
+    std::array<std::uint64_t, maxConcurrentKernels> kernelThreadInsts{};
+    std::array<std::uint64_t, numStallKinds> stalls{};
+    std::uint64_t aluBusyCycles = 0;
+    std::uint64_t sfuBusyCycles = 0;
+    std::uint64_t ldstBusyCycles = 0;
+    std::uint64_t ldstIssues = 0;
+    std::uint64_t regsAllocatedIntegral = 0;
+    std::uint64_t shmAllocatedIntegral = 0;
+    std::uint64_t threadsAllocatedIntegral = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t shmAccesses = 0;
+    std::uint64_t regReads = 0;
+    std::uint64_t regWrites = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramBusyCycles = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t ifetchMisses = 0;
+
+    /** Warp instructions per GPU cycle. */
+    double ipc() const;
+    /** L2 misses per thousand warp instructions (Table II "L2 MPKI"). */
+    double l2Mpki() const;
+    double l1MissRate() const;
+    double l2MissRate() const;
+};
+
+} // namespace wsl
+
+#endif // WSL_COMMON_STATS_HH

@@ -1,0 +1,80 @@
+#include "core/profiler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wsl {
+
+double
+scaledIpc(double sampled_ipc, double phi_mem, double ctas,
+          double cta_avg)
+{
+    if (cta_avg <= 0.0)
+        return sampled_ipc;
+    const double psi = ctas / cta_avg - 1.0;
+    const double factor = 1.0 + phi_mem * psi;
+    return sampled_ipc * std::max(factor, 0.0);
+}
+
+double
+scaledIpcBandwidth(const ProfileSample &sample,
+                   double fair_lines_per_cycle)
+{
+    if (fair_lines_per_cycle <= 0.0 || sample.linesPerCycle <= 0.0)
+        return sample.ipc;
+    const double ratio =
+        std::min(1.0, fair_lines_per_cycle / sample.linesPerCycle);
+    const double factor = 1.0 + sample.phiMem * (ratio - 1.0);
+    return sample.ipc * std::max(factor, 0.0);
+}
+
+std::vector<double>
+buildPerfVector(const std::vector<ProfileSample> &samples,
+                unsigned max_ctas, double cta_avg)
+{
+    WSL_ASSERT(max_ctas >= 1, "kernel must support at least one CTA");
+    std::vector<double> perf(max_ctas, -1.0);
+    for (const ProfileSample &s : samples) {
+        if (s.ctas < 1 || s.ctas > max_ctas)
+            continue;
+        const double scaled = scaledIpc(s.ipc, s.phiMem, s.ctas, cta_avg);
+        // First sample for a CTA count wins (one SM per count in the
+        // standard profile layout; duplicates average).
+        if (perf[s.ctas - 1] < 0.0)
+            perf[s.ctas - 1] = scaled;
+        else
+            perf[s.ctas - 1] = 0.5 * (perf[s.ctas - 1] + scaled);
+    }
+
+    // Fill gaps: linear interpolation between known points, flat
+    // extension past the ends. A fully empty vector becomes all-ones.
+    int prev_known = -1;
+    for (unsigned j = 0; j < max_ctas; ++j) {
+        if (perf[j] < 0.0)
+            continue;
+        if (prev_known < 0) {
+            for (unsigned f = 0; f < j; ++f)
+                perf[f] = perf[j] * (static_cast<double>(f) + 1) /
+                          (static_cast<double>(j) + 1);
+        } else {
+            const double lo = perf[prev_known];
+            const double hi = perf[j];
+            const double span = static_cast<double>(j - prev_known);
+            for (unsigned f = prev_known + 1; f < j; ++f)
+                perf[f] = lo + (hi - lo) *
+                                   (static_cast<double>(f - prev_known) /
+                                    span);
+        }
+        prev_known = static_cast<int>(j);
+    }
+    if (prev_known < 0) {
+        std::fill(perf.begin(), perf.end(), 1.0);
+    } else {
+        for (unsigned j = prev_known + 1; j < max_ctas; ++j)
+            perf[j] = perf[prev_known];
+    }
+    return perf;
+}
+
+} // namespace wsl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Online profiling support for Warped-Slicer (paper Section IV-A).
+ * During a short sampling window, SM i runs (i mod N)+1 CTAs of its
+ * assigned kernel; per-SM IPC is then corrected for memory-bandwidth
+ * imbalance with the scaling factor of Equations 3-4 and assembled into
+ * a performance-vs-CTA-count vector per kernel.
+ */
+
+#ifndef WSL_CORE_PROFILER_HH
+#define WSL_CORE_PROFILER_HH
+
+#include <vector>
+
+namespace wsl {
+
+/** One SM's measurement during the sampling window. */
+struct ProfileSample
+{
+    unsigned ctas = 0;    //!< CTAs the SM ran during the window
+    double ipc = 0.0;     //!< warp instructions per cycle on that SM
+    double phiMem = 0.0;  //!< fraction of scheduler slots stalled on
+                          //!< long memory latency during the window
+    /** Memory transactions this SM injected per cycle (its measured
+     *  bandwidth share, Equation 3's B_sampled). */
+    double linesPerCycle = 0.0;
+    /** ALU-pipe busy-cycles per cycle on this SM. */
+    double aluPerCycle = 0.0;
+    /** IPC as measured, before any bandwidth scaling (used to derive
+     *  the kernel's memory intensity lines-per-instruction). */
+    double rawIpc = 0.0;
+};
+
+/**
+ * Equation 4 scaling (the paper's simplified form): project the sampled
+ * per-SM IPC assuming bandwidth shares proportional to CTA count.
+ *
+ * psi = ctas/ctaAvg - 1; factor = 1 + phiMem * psi.
+ */
+double scaledIpc(double sampled_ipc, double phi_mem, double ctas,
+                 double cta_avg);
+
+/**
+ * Equation 3 scaling (the general form): scale the sampled IPC by the
+ * ratio of the SM's fair isolated bandwidth share to the share it
+ * measured during profiling, weighted by how memory-bound it was.
+ * SMs that consumed no more than their fair share are left unscaled
+ * (ratio clamped to <= 1): profiling under-contention can only have
+ * inflated, never deflated, a memory-bound sample.
+ *
+ * @param fair_lines_per_cycle fair per-SM DRAM share in isolation
+ */
+double scaledIpcBandwidth(const ProfileSample &sample,
+                          double fair_lines_per_cycle);
+
+/**
+ * Build perf[j] (j+1 CTAs -> projected IPC) for one kernel from its
+ * SM samples, applying the bandwidth scaling with `cta_avg` computed by
+ * the caller over *all* profiled SMs. Missing CTA counts (e.g. with
+ * three kernels the SM groups cover fewer counts) are filled by linear
+ * interpolation and flat extension.
+ *
+ * @param samples   per-SM samples for this kernel
+ * @param max_ctas  vector length to produce (the kernel's CTA limit)
+ * @param cta_avg   mean resident CTA count over all profiled SMs
+ */
+std::vector<double> buildPerfVector(
+    const std::vector<ProfileSample> &samples, unsigned max_ctas,
+    double cta_avg);
+
+} // namespace wsl
+
+#endif // WSL_CORE_PROFILER_HH

@@ -1,0 +1,379 @@
+#include "core/warped_slicer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "core/policies.hh"
+#include "trace/tracer.hh"
+
+namespace wsl {
+
+WarpedSlicerPolicy::WarpedSlicerPolicy(WarpedSlicerOptions o) : opts(o) {}
+
+void
+WarpedSlicerPolicy::onKernelSetChanged(Gpu &gpu, Cycle now)
+{
+    live = liveKernels(gpu);
+    if (live.size() <= 1) {
+        // A lone kernel owns the machine: lift every restriction.
+        for (unsigned s = 0; s < gpu.numSms(); ++s)
+            gpu.sm(s).clearQuotas();
+        smOwner.clear();
+        currentPhase = Phase::Idle;
+        return;
+    }
+    startProfiling(gpu, now);
+}
+
+void
+WarpedSlicerPolicy::startProfiling(Gpu &gpu, Cycle now)
+{
+    currentPhase = Phase::Profiling;
+    // The very first decision waits out the machine warm-up; kernels
+    // arriving later are profiled immediately (Section IV-B).
+    profileStart = std::max<Cycle>(now, opts.warmup);
+    profileEnd = profileStart + opts.profileLength;
+    snapshotTaken = false;
+    Tracer::global().record(now,
+                            rounds == 0 ? TraceEvent::ProfileStart
+                                        : TraceEvent::Reprofile,
+                            invalidKernel, rounds);
+    // Enough sub-windows that every CTA count up to the SM limit gets
+    // sampled even when the per-kernel SM group is small.
+    const unsigned group =
+        std::max(1u, gpu.numSms() / std::max<unsigned>(
+                         1, static_cast<unsigned>(live.size())));
+    numSubWindows =
+        (gpu.config().maxCtasPerSm + group - 1) / group;
+    subWindow = 0;
+    collected.assign(live.size(), {});
+    applyProfileConfig(gpu);
+}
+
+void
+WarpedSlicerPolicy::applyProfileConfig(Gpu &gpu)
+{
+    const unsigned num_sms = gpu.numSms();
+    const unsigned num_live = static_cast<unsigned>(live.size());
+    const std::vector<unsigned> groups =
+        spatialGroups(num_sms, num_live);
+
+    smOwner.assign(num_sms, invalidKernel);
+    smProfileCtas.assign(num_sms, 0);
+    const unsigned group = std::max(1u, num_sms / num_live);
+    std::vector<unsigned> idx_in_group(num_live, 0);
+    for (unsigned s = 0; s < num_sms; ++s) {
+        const KernelId kid = live[groups[s]];
+        const KernelInstance &k = gpu.kernel(kid);
+        const unsigned kernel_max =
+            std::min(k.params.maxCtasPerSm(gpu.config()),
+                     gpu.config().maxCtasPerSm);
+        const unsigned want =
+            ((idx_in_group[groups[s]]++ + subWindow * group) %
+             gpu.config().maxCtasPerSm) + 1;
+        const unsigned ctas = std::min(want, kernel_max);
+        smOwner[s] = kid;
+        smProfileCtas[s] = ctas;
+        SmCore &core = gpu.sm(s);
+        core.clearQuotas();
+        for (KernelId other : live)
+            core.setQuota(other, other == kid
+                                      ? static_cast<int>(ctas) : 0);
+    }
+}
+
+void
+WarpedSlicerPolicy::takeSnapshot(Gpu &gpu)
+{
+    snapshots.assign(gpu.numSms(), {});
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        const SmStats &st = gpu.sm(s).stats();
+        const KernelId kid = smOwner[s];
+        if (kid == invalidKernel)
+            continue;
+        snapshots[s].kernelInsts = st.kernelWarpInsts[kid];
+        snapshots[s].memStalls =
+            st.stalls[static_cast<unsigned>(StallKind::MemLatency)];
+        snapshots[s].l1Misses = st.l1Misses;
+        snapshots[s].aluBusy = st.aluBusyCycles;
+        snapshots[s].resident = gpu.sm(s).residentCtas(kid);
+    }
+    snapshotTaken = true;
+}
+
+void
+WarpedSlicerPolicy::collectSamples(Gpu &gpu)
+{
+    const GpuConfig &cfg = gpu.config();
+    const double window = static_cast<double>(opts.profileLength);
+    // Fair per-SM DRAM share in isolation (Equation 3's B_scaled): a
+    // memory-bound kernel alone sustains ~bwUtilization of the peak
+    // channel capacity, split evenly across the SMs.
+    const double fair_lines =
+        opts.bwUtilization *
+        (static_cast<double>(cfg.numMemPartitions) / cfg.dramBurst) /
+        cfg.numSms;
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const KernelId kid = live[i];
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            if (smOwner[s] != kid)
+                continue;
+            // A sample is only valid if the SM actually held a
+            // stable CTA count for the window: after a sub-window
+            // quota change, over-quota CTAs drain slowly and the SM
+            // temporarily runs more CTAs than assigned.
+            const unsigned resident = gpu.sm(s).residentCtas(kid);
+            if (resident == 0 || resident != snapshots[s].resident)
+                continue;
+            const SmStats &st = gpu.sm(s).stats();
+            ProfileSample sample;
+            sample.ctas = resident;
+            sample.ipc =
+                static_cast<double>(st.kernelWarpInsts[kid] -
+                                    snapshots[s].kernelInsts) /
+                window;
+            const std::uint64_t mem_stalls =
+                st.stalls[static_cast<unsigned>(
+                    StallKind::MemLatency)] -
+                snapshots[s].memStalls;
+            sample.phiMem = static_cast<double>(mem_stalls) /
+                            (window * cfg.numSchedulers);
+            sample.linesPerCycle =
+                static_cast<double>(st.l1Misses -
+                                    snapshots[s].l1Misses) /
+                window;
+            sample.aluPerCycle =
+                static_cast<double>(st.aluBusyCycles -
+                                    snapshots[s].aluBusy) /
+                window;
+            // Equation 3 bandwidth correction, then assemble the
+            // vector without the Equation 4 CTA-ratio simplification.
+            const double raw_ipc = sample.ipc;
+            sample.rawIpc = raw_ipc;
+            if (opts.bwScaling)
+                sample.ipc = scaledIpcBandwidth(sample, fair_lines);
+            if (opts.bwConstraint &&
+                sample.linesPerCycle > fair_lines) {
+                // Per-sample Equation 2 ceiling (IPC ~ BW/MPKI): an SM
+                // consuming more than the fair DRAM share during the
+                // lightly loaded profile cannot sustain that rate in
+                // steady state.
+                sample.ipc = std::min(
+                    sample.ipc,
+                    raw_ipc * fair_lines / sample.linesPerCycle);
+            }
+            collected[i].push_back(sample);
+        }
+    }
+}
+
+void
+WarpedSlicerPolicy::computeDecision(Gpu &gpu)
+{
+    const GpuConfig &cfg = gpu.config();
+    const double fair_lines =
+        opts.bwUtilization *
+        (static_cast<double>(cfg.numMemPartitions) / cfg.dramBurst) /
+        cfg.numSms;
+
+    std::vector<KernelDemand> demands;
+    perfVectors.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const KernelId kid = live[i];
+        const std::vector<ProfileSample> &samples = collected[i];
+        const KernelInstance &k = gpu.kernel(kid);
+        const unsigned max_ctas = std::min(
+            k.params.maxCtasPerSm(cfg), cfg.maxCtasPerSm);
+        KernelDemand demand;
+        demand.perCta = ResourceVec::ofCta(k.params);
+        demand.perf = buildPerfVector(samples, max_ctas, 0.0);
+        // Measured shared-resource demand curves (bandwidth and ALU
+        // occupancy vs CTA count) for the interference constraints.
+        std::vector<ProfileSample> bw_samples = samples;
+        for (ProfileSample &b : bw_samples)
+            b.ipc = b.linesPerCycle;
+        demand.bwCurve = buildPerfVector(bw_samples, max_ctas, 0.0);
+        std::vector<ProfileSample> alu_samples = samples;
+        for (ProfileSample &a : alu_samples)
+            a.ipc = a.aluPerCycle;
+        demand.aluCurve = buildPerfVector(alu_samples, max_ctas, 0.0);
+        if (opts.bwConstraint) {
+            // Streaming kernels have a stable memory intensity
+            // (lines per instruction); for them the whole curve obeys
+            // the Equation 2 ceiling IPC <= fair_bw / lambda. Cache-
+            // sensitive kernels (lambda varies with occupancy) are
+            // handled by the per-sample correction instead.
+            double lambda_min = 1e30, lambda_max = 0.0;
+            for (const ProfileSample &s : samples) {
+                if (s.rawIpc > 1e-6 && s.linesPerCycle > 1e-6) {
+                    const double lambda = s.linesPerCycle / s.rawIpc;
+                    lambda_min = std::min(lambda_min, lambda);
+                    lambda_max = std::max(lambda_max, lambda);
+                }
+            }
+            if (lambda_max > 0.0 && lambda_max <= 2.5 * lambda_min &&
+                lambda_min * fair_lines > 0.0) {
+                const double lambda =
+                    0.5 * (lambda_min + lambda_max);
+                if (lambda > 1e-6) {
+                    const double ipc_cap = fair_lines / lambda;
+                    for (double &p : demand.perf)
+                        p = std::min(p, ipc_cap);
+                }
+            }
+        }
+        perfVectors.push_back(demand.perf);
+        demands.push_back(std::move(demand));
+    }
+
+    const double alu_budget =
+        opts.aluUtilization * cfg.numAluPipes;
+    decision = waterFill(demands, ResourceVec::capacity(cfg),
+                         opts.bwConstraint ? fair_lines : 0.0,
+                         opts.bwConstraint ? alu_budget : 0.0);
+    // Spatial fallback (Section IV): with K kernels sharing an SM, a
+    // kernel expecting to retain less than (120/K)% of its solo
+    // performance disbands the co-location.
+    const double required_perf =
+        opts.lossThresholdScale / static_cast<double>(live.size());
+    pendingSpatial = !decision.feasible ||
+                     decision.minNormPerf < required_perf;
+    ++rounds;
+}
+
+void
+WarpedSlicerPolicy::applyDecision(Gpu &gpu, Cycle now)
+{
+    decidedAt = now;
+    history.push_back({live, decision.ctas, pendingSpatial, now});
+    Tracer::global().record(now, TraceEvent::Decision, invalidKernel,
+                            packQuotas(decision.ctas),
+                            pendingSpatial ? 1 : 0);
+    if (pendingSpatial) {
+        // Fall back to inter-SM spatial multitasking.
+        const std::vector<unsigned> groups = spatialGroups(
+            gpu.numSms(), static_cast<unsigned>(live.size()));
+        smOwner.assign(gpu.numSms(), invalidKernel);
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            smOwner[s] = live[groups[s]];
+            gpu.sm(s).clearQuotas();
+        }
+        currentPhase = Phase::Spatial;
+    } else {
+        smOwner.clear();
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            SmCore &core = gpu.sm(s);
+            core.clearQuotas();
+            for (std::size_t i = 0; i < live.size(); ++i)
+                core.setQuota(live[i], decision.ctas[i]);
+        }
+        currentPhase = Phase::Enforced;
+    }
+
+    // Arm the phase monitor.
+    monitorStart = now;
+    monitorInstSnapshot.assign(live.size(), 0);
+    for (std::size_t i = 0; i < live.size(); ++i)
+        monitorInstSnapshot[i] = gpu.kernelWarpInsts(live[i]);
+    baselineIpc.assign(live.size(), -1.0);
+    deviatedWindows = 0;
+    windowsSinceDecision = 0;
+}
+
+void
+WarpedSlicerPolicy::tick(Gpu &gpu, Cycle now)
+{
+    switch (currentPhase) {
+      case Phase::Idle:
+        return;
+      case Phase::Profiling: {
+        if (!snapshotTaken && now >= profileStart)
+            takeSnapshot(gpu);
+        if (snapshotTaken && now >= profileEnd) {
+            collectSamples(gpu);
+            if (++subWindow < numSubWindows) {
+                // Time-share the SM groups over another quota
+                // staircase (>2 kernels; Section IV-A).
+                profileStart = now;
+                profileEnd = now + opts.profileLength;
+                snapshotTaken = false;
+                applyProfileConfig(gpu);
+                return;
+            }
+            computeDecision(gpu);
+            applyAt = now + opts.algorithmDelay;
+            currentPhase = Phase::Delay;
+            // While the algorithm "runs", the profile allocation keeps
+            // executing (Section V-H: the delay does not block warps).
+            if (now >= applyAt)
+                applyDecision(gpu, now);
+        }
+        return;
+      }
+      case Phase::Delay: {
+        if (now >= applyAt)
+            applyDecision(gpu, now);
+        return;
+      }
+      case Phase::Enforced:
+      case Phase::Spatial: {
+        if (!opts.phaseMonitor)
+            return;
+        if (now < monitorStart + opts.monitorWindow)
+            return;
+        // Close a monitoring window: compare per-kernel IPC with the
+        // post-decision baseline. The first windows after a decision
+        // are discarded: over-quota CTAs from the profiling layout are
+        // still draining and would poison the baseline.
+        ++windowsSinceDecision;
+        bool deviated = false;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            const KernelId kid = live[i];
+            if (gpu.kernel(kid).done)
+                continue;
+            const std::uint64_t insts = gpu.kernelWarpInsts(kid);
+            const double ipc =
+                static_cast<double>(insts - monitorInstSnapshot[i]) /
+                static_cast<double>(opts.monitorWindow);
+            monitorInstSnapshot[i] = insts;
+            if (windowsSinceDecision <= opts.baselineSkipWindows)
+                continue;
+            if (baselineIpc[i] < 0.0) {
+                baselineIpc[i] = ipc;
+            } else if (baselineIpc[i] > 0.0) {
+                const double rel =
+                    std::fabs(ipc - baselineIpc[i]) / baselineIpc[i];
+                if (rel > opts.phaseDelta)
+                    deviated = true;
+            }
+        }
+        monitorStart = now;
+        deviatedWindows = deviated ? deviatedWindows + 1 : 0;
+        if (deviatedWindows >= opts.sustainedWindows &&
+            now >= decidedAt + opts.reprofileCooldown) {
+            deviatedWindows = 0;
+            startProfiling(gpu, now);
+        }
+        return;
+      }
+    }
+}
+
+bool
+WarpedSlicerPolicy::mayDispatch(const Gpu &gpu, SmId sm,
+                                KernelId kid) const
+{
+    (void)gpu;
+    switch (currentPhase) {
+      case Phase::Profiling:
+      case Phase::Delay:
+      case Phase::Spatial:
+        return !smOwner.empty() && smOwner[sm] == kid;
+      default:
+        return true;
+    }
+}
+
+} // namespace wsl

@@ -1,0 +1,202 @@
+#include "core/waterfill.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace wsl {
+
+WaterFillResult
+waterFill(const std::vector<KernelDemand> &demands,
+          const ResourceVec &total, double bw_budget,
+          double alu_budget)
+{
+    const std::size_t num_kernels = demands.size();
+    WaterFillResult result;
+    result.ctas.assign(num_kernels, 0);
+    result.normPerf.assign(num_kernels, 0.0);
+    if (num_kernels == 0)
+        return result;
+
+    // Build Q (strictly increasing best-performance levels) and M (the
+    // CTA count achieving each level) per kernel; normalize Q by the
+    // kernel's peak so losses are comparable across kernels.
+    struct State
+    {
+        std::vector<double> q;
+        std::vector<int> m;
+        std::size_t g = 0;  //!< index of the current level
+        bool full = false;
+    };
+    std::vector<State> states(num_kernels);
+    for (std::size_t i = 0; i < num_kernels; ++i) {
+        WSL_ASSERT(!demands[i].perf.empty(),
+                   "kernel demand needs at least one perf point");
+        double max_perf = 0.0;
+        for (std::size_t j = 0; j < demands[i].perf.size(); ++j) {
+            const double p = demands[i].perf[j];
+            if (p > max_perf) {
+                max_perf = p;
+                states[i].q.push_back(p);
+                states[i].m.push_back(static_cast<int>(j) + 1);
+            }
+        }
+        if (states[i].q.empty()) {
+            // Degenerate all-zero curve: one CTA, zero performance.
+            states[i].q.push_back(0.0);
+            states[i].m.push_back(1);
+            max_perf = 1.0;
+        }
+        for (double &q : states[i].q)
+            q /= max_perf;
+    }
+
+    // Shared-resource demand of kernel i at T CTAs, from its measured
+    // demand curve (0 when no curve was supplied).
+    auto demand_at = [&](const std::vector<double> &curve, int t) {
+        if (curve.empty() || t < 1)
+            return 0.0;
+        const std::size_t idx =
+            std::min<std::size_t>(t - 1, curve.size() - 1);
+        return curve[idx];
+    };
+    auto total_demand = [&](const std::vector<int> &ctas, bool alu) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < num_kernels; ++i)
+            sum += demand_at(alu ? demands[i].aluCurve
+                                 : demands[i].bwCurve,
+                             ctas[i]);
+        return sum;
+    };
+
+    // Minimum allocation: M[0] CTAs (normally 1) for every kernel.
+    // The shared budgets do not apply to the minimum: every kernel is
+    // guaranteed one CTA.
+    ResourceVec used;
+    for (std::size_t i = 0; i < num_kernels; ++i) {
+        used = used + demands[i].perCta.scaled(states[i].m[0]);
+        result.ctas[i] = states[i].m[0];
+    }
+    if (!used.fitsIn(total))
+        return result;  // infeasible
+    result.feasible = true;
+
+    // Water-filling: repeatedly raise the worst-off kernel.
+    while (true) {
+        int selected = -1;
+        double min_perf = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < num_kernels; ++i) {
+            if (states[i].full)
+                continue;
+            if (states[i].g + 1 >= states[i].q.size()) {
+                states[i].full = true;  // already at its peak level
+                continue;
+            }
+            if (states[i].q[states[i].g] < min_perf) {
+                min_perf = states[i].q[states[i].g];
+                selected = static_cast<int>(i);
+            }
+        }
+        if (selected < 0)
+            break;
+        State &s = states[selected];
+        const int delta = s.m[s.g + 1] - s.m[s.g];
+        const ResourceVec next =
+            used + demands[selected].perCta.scaled(delta);
+        std::vector<int> next_ctas = result.ctas;
+        next_ctas[selected] += delta;
+        const bool bw_ok =
+            bw_budget <= 0.0 ||
+            total_demand(next_ctas, false) <= bw_budget;
+        const bool alu_ok =
+            alu_budget <= 0.0 ||
+            total_demand(next_ctas, true) <= alu_budget;
+        if (next.fitsIn(total) && bw_ok && alu_ok) {
+            used = next;
+            ++s.g;
+            result.ctas[selected] += delta;
+        } else {
+            s.full = true;
+        }
+    }
+
+    result.minNormPerf = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < num_kernels; ++i) {
+        result.normPerf[i] = states[i].q[states[i].g];
+        result.minNormPerf = std::min(result.minNormPerf,
+                                      result.normPerf[i]);
+    }
+    result.used = used;
+    return result;
+}
+
+namespace {
+
+void
+searchCombos(const std::vector<KernelDemand> &demands,
+             const ResourceVec &total, std::size_t idx,
+             std::vector<int> &combo, ResourceVec used,
+             const std::vector<std::vector<double>> &norm,
+             WaterFillResult &best)
+{
+    if (idx == demands.size()) {
+        double min_perf = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < combo.size(); ++i)
+            min_perf = std::min(min_perf, norm[i][combo[i] - 1]);
+        if (!best.feasible || min_perf > best.minNormPerf) {
+            best.feasible = true;
+            best.ctas = combo;
+            best.minNormPerf = min_perf;
+            best.used = used;
+            best.normPerf.resize(combo.size());
+            for (std::size_t i = 0; i < combo.size(); ++i)
+                best.normPerf[i] = norm[i][combo[i] - 1];
+        }
+        return;
+    }
+    const int max_ctas = static_cast<int>(demands[idx].perf.size());
+    for (int t = 1; t <= max_ctas; ++t) {
+        const ResourceVec next =
+            used + demands[idx].perCta.scaled(t);
+        if (!next.fitsIn(total))
+            break;
+        combo[idx] = t;
+        searchCombos(demands, total, idx + 1, combo, next, norm, best);
+    }
+}
+
+} // namespace
+
+WaterFillResult
+exhaustiveSweetSpot(const std::vector<KernelDemand> &demands,
+                    const ResourceVec &total)
+{
+    WaterFillResult best;
+    best.ctas.assign(demands.size(), 0);
+    best.normPerf.assign(demands.size(), 0.0);
+    if (demands.empty())
+        return best;
+
+    // Best achievable performance at <= j+1 CTAs, normalized: matches
+    // the Q/M semantics of waterFill (extra CTAs are never harmful
+    // because the dispatcher can simply leave the quota unfilled).
+    std::vector<std::vector<double>> norm(demands.size());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        double peak = 0.0;
+        for (double p : demands[i].perf)
+            peak = std::max(peak, p);
+        if (peak <= 0.0)
+            peak = 1.0;
+        double best_so_far = 0.0;
+        for (double p : demands[i].perf) {
+            best_so_far = std::max(best_so_far, p / peak);
+            norm[i].push_back(best_so_far);
+        }
+    }
+    std::vector<int> combo(demands.size(), 0);
+    searchCombos(demands, total, 0, combo, ResourceVec{}, norm, best);
+    return best;
+}
+
+} // namespace wsl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's Algorithm 1: water-filling resource partitioning across K
+ * kernels sharing an SM. Given each kernel's performance-vs-CTA-count
+ * curve and per-CTA resource demand, find the CTA assignment that
+ * maximizes the minimum normalized performance (Equation 1), subject to
+ * the SM's multi-dimensional resource capacity.
+ */
+
+#ifndef WSL_CORE_WATERFILL_HH
+#define WSL_CORE_WATERFILL_HH
+
+#include <vector>
+
+#include "sm/resources.hh"
+
+namespace wsl {
+
+/** One kernel's input to the partitioning algorithm. */
+struct KernelDemand
+{
+    /** Resource cost of one CTA. */
+    ResourceVec perCta;
+    /**
+     * perf[j] = measured/predicted performance with (j+1) CTAs resident
+     * on one SM. Arbitrary units; normalization is internal. Curves may
+     * be non-monotonic (L1-cache-sensitive kernels peak mid-range).
+     */
+    std::vector<double> perf;
+    /**
+     * bwCurve[j] = DRAM transactions/cycle the kernel generates with
+     * (j+1) CTAs (measured during profiling). Feeds the
+     * shared-bandwidth interference constraint (the "interference
+     * effect of shared resource usage" the model accounts for).
+     * Empty = no demand. Same length as perf when present.
+     */
+    std::vector<double> bwCurve;
+    /**
+     * aluCurve[j] = ALU-pipe busy-cycles/cycle at (j+1) CTAs.
+     * Co-resident kernels share the SM's issue pipes; allocations
+     * whose combined demand exceeds pipe capacity cannot deliver
+     * their predicted performance. Empty = no demand.
+     */
+    std::vector<double> aluCurve;
+};
+
+/** Output of the partitioning algorithm. */
+struct WaterFillResult
+{
+    /** False if even one CTA per kernel does not fit. */
+    bool feasible = false;
+    /** Ti: CTAs assigned to each kernel. */
+    std::vector<int> ctas;
+    /** Predicted per-kernel performance at Ti, normalized to each
+     *  kernel's own peak (P(i, Ti) in Equation 1). */
+    std::vector<double> normPerf;
+    /** min_i normPerf[i]: the Equation 1 objective value. */
+    double minNormPerf = 0.0;
+    /** Resources consumed by the chosen assignment. */
+    ResourceVec used;
+};
+
+/**
+ * Run Algorithm 1. O(K*N) time and space: each iteration raises the
+ * worst-off kernel to its next distinct performance level, spending the
+ * minimum CTAs required, until no kernel can grow.
+ *
+ * @param demands   one entry per kernel sharing the SM
+ * @param total     the SM's resource capacity
+ * @param bw_budget per-SM share of sustainable DRAM bandwidth
+ *                  (lines/cycle); 0 disables the bandwidth constraint.
+ *                  Allocations never exceed the budget except for the
+ *                  mandatory one-CTA-per-kernel minimum.
+ * @param alu_budget SM ALU-pipe capacity (busy-cycles/cycle); 0
+ *                  disables the pipe-sharing constraint.
+ */
+WaterFillResult waterFill(const std::vector<KernelDemand> &demands,
+                          const ResourceVec &total,
+                          double bw_budget = 0.0,
+                          double alu_budget = 0.0);
+
+/**
+ * Reference oracle: exhaustively search all feasible CTA combinations
+ * for the max-min objective. Exponential in K; used for validating
+ * waterFill() and for the Figure 3b sweet-spot illustration.
+ */
+WaterFillResult exhaustiveSweetSpot(
+    const std::vector<KernelDemand> &demands, const ResourceVec &total);
+
+} // namespace wsl
+
+#endif // WSL_CORE_WATERFILL_HH

@@ -1,0 +1,237 @@
+#include "gpu/gpu.hh"
+
+#include "common/log.hh"
+#include "trace/tracer.hh"
+
+namespace wsl {
+
+Gpu::Gpu(const GpuConfig &c, std::unique_ptr<SlicingPolicy> p)
+    : cfg(c), policy(std::move(p))
+{
+    WSL_ASSERT(policy != nullptr, "GPU needs a slicing policy");
+    sms.reserve(cfg.numSms);
+    for (unsigned s = 0; s < cfg.numSms; ++s)
+        sms.push_back(std::make_unique<SmCore>(cfg, s));
+    partitions.reserve(cfg.numMemPartitions);
+    for (unsigned p_idx = 0; p_idx < cfg.numMemPartitions; ++p_idx)
+        partitions.push_back(std::make_unique<MemPartition>(cfg, p_idx));
+}
+
+KernelId
+Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
+{
+    WSL_ASSERT(kernels.size() < maxConcurrentKernels,
+               "kernel table full");
+    auto inst = std::make_unique<KernelInstance>();
+    inst->id = static_cast<KernelId>(kernels.size());
+    inst->params = params;
+    inst->program = buildProgram(params);
+    inst->baseAddr = (static_cast<Addr>(inst->id) + 1) << 36;
+    inst->instTarget = inst_target;
+    inst->launchCycle = now;
+    Tracer::global().record(now, TraceEvent::KernelLaunch, inst->id,
+                            params.gridDim);
+    kernels.push_back(std::move(inst));
+    policy->onKernelSetChanged(*this, now);
+    return kernels.back()->id;
+}
+
+void
+Gpu::dispatch()
+{
+    // Kernel-aware thread-block scheduler: kernels are considered in
+    // table order; the policy's quotas and SM masks carve up the SMs.
+    for (auto &sm_ptr : sms) {
+        SmCore &core = *sm_ptr;
+        for (auto &kern_ptr : kernels) {
+            KernelInstance &k = *kern_ptr;
+            if (!k.hasCtasToIssue())
+                continue;
+            if (!policy->mayDispatch(*this, core.id(), k.id))
+                continue;
+            const int q = core.quota(k.id);
+            while (k.hasCtasToIssue() &&
+                   (q < 0 ||
+                    core.residentCtas(k.id) < static_cast<unsigned>(q)) &&
+                   core.canAcceptCta(k.params)) {
+                const bool ok =
+                    core.launchCta(k.id, k.params, k.program, k.nextCta,
+                                   k.baseAddr, now);
+                WSL_ASSERT(ok, "launch failed after canAcceptCta");
+                Tracer::global().record(
+                    now, TraceEvent::CtaLaunch, k.id, k.nextCta,
+                    static_cast<std::uint32_t>(core.id()));
+                ++k.nextCta;
+            }
+        }
+    }
+}
+
+void
+Gpu::routeMemory()
+{
+    // SM -> partition requests, respecting per-partition queue limits.
+    for (auto &sm_ptr : sms) {
+        auto &out = sm_ptr->outgoingRequests();
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            MemPartition &part =
+                *partitions[partitionOf(out[i].line,
+                                        cfg.numMemPartitions)];
+            if (part.canAcceptRequest())
+                part.pushRequest(out[i]);
+            else
+                out[kept++] = out[i];
+        }
+        out.resize(kept);
+    }
+
+    for (auto &part : partitions) {
+        part->tick(now);
+        auto &resps = part->responses();
+        for (const MemResponse &resp : resps)
+            sms[resp.sm]->deliverResponse(resp);
+        resps.clear();
+    }
+}
+
+void
+Gpu::drainCtaEvents()
+{
+    for (auto &sm_ptr : sms) {
+        auto &events = sm_ptr->completedCtaEvents();
+        for (KernelId kid : events) {
+            ++kernels[kid]->ctasCompleted;
+            Tracer::global().record(
+                now, TraceEvent::CtaComplete, kid,
+                kernels[kid]->ctasCompleted,
+                static_cast<std::uint32_t>(sm_ptr->id()));
+        }
+        events.clear();
+    }
+}
+
+void
+Gpu::checkKernelProgress()
+{
+    bool set_changed = false;
+    for (auto &kern_ptr : kernels) {
+        KernelInstance &k = *kern_ptr;
+        if (k.done)
+            continue;
+        const bool target_hit =
+            k.instTarget > 0 && kernelThreadInsts(k.id) >= k.instTarget;
+        const bool grid_done = k.nextCta >= k.params.gridDim &&
+                               k.ctasCompleted >= k.params.gridDim;
+        if (target_hit || grid_done) {
+            k.done = true;
+            k.halted = target_hit && !grid_done;
+            // Cycles elapsed at completion (this tick included).
+            k.finishCycle = now + 1;
+            Tracer::global().record(now, TraceEvent::KernelFinish,
+                                    k.id, k.halted ? 1 : 0);
+            if (k.halted) {
+                for (auto &sm_ptr : sms)
+                    sm_ptr->evictKernel(k.id);
+            }
+            set_changed = true;
+        }
+    }
+    if (set_changed)
+        policy->onKernelSetChanged(*this, now);
+}
+
+void
+Gpu::tick()
+{
+    policy->tick(*this, now);
+    dispatch();
+    for (auto &sm_ptr : sms)
+        sm_ptr->tick(now);
+    routeMemory();
+    drainCtaEvents();
+    checkKernelProgress();
+    ++now;
+}
+
+void
+Gpu::run(Cycle max_cycles)
+{
+    const Cycle end = now + max_cycles;
+    while (now < end && !allKernelsDone())
+        tick();
+}
+
+bool
+Gpu::allKernelsDone() const
+{
+    if (kernels.empty())
+        return false;
+    for (const auto &k : kernels)
+        if (!k->done)
+            return false;
+    return true;
+}
+
+std::uint64_t
+Gpu::kernelThreadInsts(KernelId kid) const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm_ptr : sms)
+        total += sm_ptr->stats().kernelThreadInsts[kid];
+    return total;
+}
+
+std::uint64_t
+Gpu::kernelWarpInsts(KernelId kid) const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm_ptr : sms)
+        total += sm_ptr->stats().kernelWarpInsts[kid];
+    return total;
+}
+
+GpuStats
+Gpu::collectStats() const
+{
+    GpuStats g;
+    g.cycles = now;
+    for (const auto &sm_ptr : sms) {
+        const SmStats &s = sm_ptr->stats();
+        g.warpInstsIssued += s.warpInstsIssued;
+        g.threadInstsIssued += s.threadInstsIssued;
+        for (unsigned k = 0; k < maxConcurrentKernels; ++k) {
+            g.kernelWarpInsts[k] += s.kernelWarpInsts[k];
+            g.kernelThreadInsts[k] += s.kernelThreadInsts[k];
+        }
+        for (unsigned i = 0; i < numStallKinds; ++i)
+            g.stalls[i] += s.stalls[i];
+        g.aluBusyCycles += s.aluBusyCycles;
+        g.sfuBusyCycles += s.sfuBusyCycles;
+        g.ldstBusyCycles += s.ldstBusyCycles;
+        g.ldstIssues += s.ldstIssues;
+        g.regsAllocatedIntegral += s.regsAllocatedIntegral;
+        g.shmAllocatedIntegral += s.shmAllocatedIntegral;
+        g.threadsAllocatedIntegral += s.threadsAllocatedIntegral;
+        g.l1Accesses += s.l1Accesses;
+        g.l1Misses += s.l1Misses;
+        g.shmAccesses += s.shmAccesses;
+        g.regReads += s.regReads;
+        g.regWrites += s.regWrites;
+        g.ifetches += s.ifetches;
+        g.ifetchMisses += s.ifetchMisses;
+    }
+    for (const auto &part : partitions) {
+        const PartitionStats p = part->stats();
+        g.l2Accesses += p.l2Accesses;
+        g.l2Misses += p.l2Misses;
+        g.dramReads += p.dramReads;
+        g.dramWrites += p.dramWrites;
+        g.dramRowHits += p.dramRowHits;
+        g.dramRowMisses += p.dramRowMisses;
+        g.dramBusyCycles += p.dramBusyCycles;
+    }
+    return g;
+}
+
+} // namespace wsl

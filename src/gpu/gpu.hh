@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Whole-GPU model: 16 SMs, 6 memory partitions, a kernel table with
+ * Hyper-Q-style concurrent kernel launch, and a kernel-aware thread
+ * block dispatcher driven by a pluggable slicing policy.
+ */
+
+#ifndef WSL_GPU_GPU_HH
+#define WSL_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/kernel.hh"
+#include "gpu/policy.hh"
+#include "mem/partition.hh"
+#include "sm/sm_core.hh"
+
+namespace wsl {
+
+/**
+ * The simulated GPU. Construct, launch kernels, then tick (or run()).
+ * The policy owns all partitioning decisions; the GPU provides the
+ * generic dispatch mechanism.
+ */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, std::unique_ptr<SlicingPolicy> policy);
+
+    /**
+     * Add a kernel to the kernel table.
+     *
+     * @param params       the kernel model
+     * @param inst_target  thread instructions to execute before the
+     *                     harness halts the kernel (0 = run the grid)
+     */
+    KernelId launchKernel(const KernelParams &params,
+                          std::uint64_t inst_target = 0);
+
+    /** Advance one core cycle. */
+    void tick();
+
+    /** Tick until every kernel is done or `max_cycles` elapse. */
+    void run(Cycle max_cycles);
+
+    Cycle cycle() const { return now; }
+    bool allKernelsDone() const;
+
+    // ---- Component access (used by policies, tests, the harness) ----
+    unsigned numSms() const { return static_cast<unsigned>(sms.size()); }
+    SmCore &sm(SmId id) { return *sms[id]; }
+    const SmCore &sm(SmId id) const { return *sms[id]; }
+    std::size_t numKernels() const { return kernels.size(); }
+    KernelInstance &kernel(KernelId kid) { return *kernels[kid]; }
+    const KernelInstance &kernel(KernelId kid) const
+    {
+        return *kernels[kid];
+    }
+    const GpuConfig &config() const { return cfg; }
+    SlicingPolicy &slicingPolicy() { return *policy; }
+    MemPartition &partition(unsigned i) { return *partitions[i]; }
+    unsigned numPartitions() const
+    {
+        return static_cast<unsigned>(partitions.size());
+    }
+
+    /** Thread instructions kernel `kid` has executed (all SMs). */
+    std::uint64_t kernelThreadInsts(KernelId kid) const;
+    /** Warp instructions kernel `kid` has executed (all SMs). */
+    std::uint64_t kernelWarpInsts(KernelId kid) const;
+
+    /** Aggregate counters over all SMs and partitions. */
+    GpuStats collectStats() const;
+
+  private:
+    void dispatch();
+    void routeMemory();
+    void drainCtaEvents();
+    void checkKernelProgress();
+
+    const GpuConfig cfg;
+    std::unique_ptr<SlicingPolicy> policy;
+    std::vector<std::unique_ptr<SmCore>> sms;
+    std::vector<std::unique_ptr<MemPartition>> partitions;
+    std::vector<std::unique_ptr<KernelInstance>> kernels;
+    Cycle now = 0;
+};
+
+} // namespace wsl
+
+#endif // WSL_GPU_GPU_HH

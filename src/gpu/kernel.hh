@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A launched kernel instance tracked by the GPU's kernel table.
+ */
+
+#ifndef WSL_GPU_KERNEL_HH
+#define WSL_GPU_KERNEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "workloads/kernel_params.hh"
+
+namespace wsl {
+
+/**
+ * Runtime state of one kernel. The experiment harness gives each kernel
+ * an instruction target (paper Section V-A methodology): when the target
+ * is reached the kernel is halted and its resources released.
+ */
+struct KernelInstance
+{
+    KernelId id = invalidKernel;
+    KernelParams params;
+    KernelProgram program;
+    Addr baseAddr = 0;
+
+    unsigned nextCta = 0;        //!< next grid CTA to dispatch
+    unsigned ctasCompleted = 0;
+    std::uint64_t instTarget = 0;  //!< thread instructions; 0 = whole grid
+    bool halted = false;           //!< target reached, resources freed
+
+    Cycle launchCycle = 0;
+    Cycle finishCycle = 0;
+    bool done = false;           //!< halted or grid fully completed
+
+    /** True while grid CTAs remain to dispatch. */
+    bool
+    hasCtasToIssue() const
+    {
+        return !done && nextCta < params.gridDim;
+    }
+};
+
+} // namespace wsl
+
+#endif // WSL_GPU_KERNEL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interface between the GPU's kernel-aware thread-block dispatcher and a
+ * multiprogramming (slicing) policy. A policy controls dispatch through
+ * two levers: per-SM/per-kernel CTA quotas (SmCore::setQuota) and the
+ * mayDispatch() SM mask. Concrete policies live in src/core/.
+ */
+
+#ifndef WSL_GPU_POLICY_HH
+#define WSL_GPU_POLICY_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+class Gpu;
+
+/** Base class for intra-/inter-SM slicing policies. */
+class SlicingPolicy
+{
+  public:
+    virtual ~SlicingPolicy() = default;
+
+    /** Short identifier used in reports ("LeftOver", "Dynamic", ...). */
+    virtual std::string name() const = 0;
+
+    /** Invoked when a kernel is launched, halts, or completes. */
+    virtual void onKernelSetChanged(Gpu &gpu, Cycle now)
+    {
+        (void)gpu;
+        (void)now;
+    }
+
+    /** Invoked every cycle before CTA dispatch. */
+    virtual void tick(Gpu &gpu, Cycle now)
+    {
+        (void)gpu;
+        (void)now;
+    }
+
+    /** SM mask: may `kid` receive CTAs on `sm` right now? */
+    virtual bool
+    mayDispatch(const Gpu &gpu, SmId sm, KernelId kid) const
+    {
+        (void)gpu;
+        (void)sm;
+        (void)kid;
+        return true;
+    }
+};
+
+} // namespace wsl
+
+#endif // WSL_GPU_POLICY_HH

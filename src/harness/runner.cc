@@ -1,0 +1,228 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "core/policies.hh"
+
+namespace wsl {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::LeftOver: return "LeftOver";
+      case PolicyKind::Even:     return "Even";
+      case PolicyKind::Spatial:  return "Spatial";
+      case PolicyKind::Dynamic:  return "Dynamic";
+      default:                   return "Unknown";
+    }
+}
+
+std::unique_ptr<SlicingPolicy>
+makePolicy(PolicyKind kind, const WarpedSlicerOptions &slicer_opts)
+{
+    switch (kind) {
+      case PolicyKind::LeftOver:
+        return std::make_unique<LeftOverPolicy>();
+      case PolicyKind::Even:
+        return std::make_unique<EvenPolicy>();
+      case PolicyKind::Spatial:
+        return std::make_unique<SpatialPolicy>();
+      case PolicyKind::Dynamic:
+        return std::make_unique<WarpedSlicerPolicy>(slicer_opts);
+    }
+    panic("unknown policy kind");
+}
+
+Cycle
+defaultWindow()
+{
+    if (const char *env = std::getenv("WSL_WINDOW")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<Cycle>(v);
+    }
+    return 50000;
+}
+
+WarpedSlicerOptions
+scaledSlicerOptions(Cycle window)
+{
+    WarpedSlicerOptions opts;
+    opts.warmup = std::max<Cycle>(1000, window / 20);
+    // The paper's 5 K-cycle sampling window; shorter windows are too
+    // noisy to resolve adjacent CTA counts on the perf curves.
+    opts.profileLength = std::max<Cycle>(
+        2000, std::min<Cycle>(5000, window / 8));
+    opts.monitorWindow = opts.profileLength;
+    // Stationary kernels: at shrunken windows a re-profile costs a
+    // meaningful fraction of the run, so require a long quiet period.
+    opts.reprofileCooldown = std::max<Cycle>(20000, window);
+    return opts;
+}
+
+SoloResult
+runSoloForCycles(const KernelParams &params, const GpuConfig &cfg,
+                 Cycle cycles, int cta_quota)
+{
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    const KernelId kid = gpu.launchKernel(params);
+    if (cta_quota >= 0)
+        for (unsigned s = 0; s < gpu.numSms(); ++s)
+            gpu.sm(s).setQuota(kid, cta_quota);
+    gpu.run(cycles);
+
+    SoloResult r;
+    r.cycles = gpu.cycle();
+    r.threadInsts = gpu.kernelThreadInsts(kid);
+    r.warpInsts = gpu.kernelWarpInsts(kid);
+    r.stats = gpu.collectStats();
+    return r;
+}
+
+SoloResult
+runSoloToTarget(const KernelParams &params, const GpuConfig &cfg,
+                std::uint64_t target, Cycle max_cycles)
+{
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    const KernelId kid = gpu.launchKernel(params, target);
+    gpu.run(max_cycles);
+
+    SoloResult r;
+    r.cycles = gpu.kernel(kid).done ? gpu.kernel(kid).finishCycle
+                                    : gpu.cycle();
+    r.threadInsts = gpu.kernelThreadInsts(kid);
+    r.warpInsts = gpu.kernelWarpInsts(kid);
+    r.stats = gpu.collectStats();
+    return r;
+}
+
+CoRunResult
+runCoSchedule(const std::vector<KernelParams> &apps,
+              const std::vector<std::uint64_t> &targets, PolicyKind kind,
+              const GpuConfig &cfg, const CoRunOptions &opts)
+{
+    WSL_ASSERT(apps.size() == targets.size(),
+               "one instruction target per app");
+    std::unique_ptr<SlicingPolicy> policy;
+    if (!opts.fixedQuotas.empty())
+        policy = std::make_unique<FixedQuotaPolicy>(opts.fixedQuotas);
+    else
+        policy = makePolicy(kind, opts.slicer);
+    SlicingPolicy *policy_raw = policy.get();
+
+    Gpu gpu(cfg, std::move(policy));
+    std::vector<KernelId> kids;
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        kids.push_back(gpu.launchKernel(apps[i], targets[i]));
+    gpu.run(opts.maxCycles);
+
+    CoRunResult r;
+    r.completed = gpu.allKernelsDone();
+    r.makespan = gpu.cycle();
+    r.stats = gpu.collectStats();
+    std::uint64_t total_warp_insts = 0;
+    for (KernelId kid : kids) {
+        AppOutcome app;
+        app.insts = gpu.kernelThreadInsts(kid);
+        app.cycles = gpu.kernel(kid).done ? gpu.kernel(kid).finishCycle
+                                          : gpu.cycle();
+        if (app.cycles == 0)
+            app.cycles = 1;
+        r.apps.push_back(app);
+        total_warp_insts += gpu.kernelWarpInsts(kid);
+    }
+    r.sysIpc = r.makespan
+        ? static_cast<double>(total_warp_insts) / r.makespan : 0.0;
+
+    if (kind == PolicyKind::Dynamic && opts.fixedQuotas.empty()) {
+        auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(policy_raw);
+        WSL_ASSERT(dyn != nullptr, "Dynamic policy of unexpected type");
+        // Report the first decision that covered the full kernel set
+        // (later re-profiles may only cover the surviving kernels).
+        for (const auto &record : dyn->decisionHistory()) {
+            if (record.live.size() == apps.size()) {
+                r.chosenCtas = record.ctas;
+                r.spatialFallback = record.spatial;
+                break;
+            }
+        }
+        if (r.chosenCtas.empty() && !dyn->decisionHistory().empty()) {
+            r.chosenCtas = dyn->decisionHistory().front().ctas;
+            r.spatialFallback = dyn->decisionHistory().front().spatial;
+        }
+    }
+    return r;
+}
+
+Characterization::Characterization(const GpuConfig &c, Cycle window)
+    : cfg(c), windowCycles(window)
+{
+}
+
+const SoloResult &
+Characterization::solo(const std::string &name)
+{
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache.emplace(name, runSoloForCycles(benchmark(name), cfg,
+                                                  windowCycles))
+                 .first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+Characterization::target(const std::string &name)
+{
+    return solo(name).threadInsts;
+}
+
+Cycle
+Characterization::aloneCycles(const std::string &name)
+{
+    return solo(name).cycles;
+}
+
+std::vector<std::vector<int>>
+enumerateFeasibleCombos(const std::vector<KernelParams> &apps,
+                        const GpuConfig &cfg)
+{
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    std::vector<unsigned> max_ctas;
+    std::vector<ResourceVec> per_cta;
+    for (const KernelParams &a : apps) {
+        max_ctas.push_back(a.maxCtasPerSm(cfg));
+        per_cta.push_back(ResourceVec::ofCta(a));
+    }
+    std::vector<std::vector<int>> combos;
+    std::vector<int> combo(apps.size(), 1);
+    // Odometer enumeration with per-dimension feasibility pruning.
+    while (true) {
+        ResourceVec used;
+        bool fits = true;
+        for (std::size_t i = 0; i < apps.size() && fits; ++i) {
+            used = used + per_cta[i].scaled(combo[i]);
+            fits = used.fitsIn(cap);
+        }
+        if (fits)
+            combos.push_back(combo);
+        // Advance the odometer.
+        std::size_t pos = 0;
+        while (pos < combo.size()) {
+            if (combo[pos] < static_cast<int>(max_ctas[pos])) {
+                ++combo[pos];
+                break;
+            }
+            combo[pos] = 1;
+            ++pos;
+        }
+        if (pos == combo.size())
+            break;
+    }
+    return combos;
+}
+
+} // namespace wsl

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Experiment harness implementing the paper's Section V-A methodology:
+ * characterize each benchmark alone for a fixed cycle window to fix its
+ * instruction target, then co-run benchmark sets under a policy until
+ * every app reaches its own target, halting (and releasing the
+ * resources of) each app as it finishes.
+ */
+
+#ifndef WSL_HARNESS_RUNNER_HH
+#define WSL_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/warped_slicer.hh"
+#include "gpu/gpu.hh"
+#include "metrics/metrics.hh"
+#include "workloads/benchmarks.hh"
+
+namespace wsl {
+
+/** The multiprogramming approaches compared in the evaluation. */
+enum class PolicyKind { LeftOver, Even, Spatial, Dynamic };
+
+const char *policyName(PolicyKind kind);
+
+/** Instantiate a policy object. */
+std::unique_ptr<SlicingPolicy> makePolicy(
+    PolicyKind kind, const WarpedSlicerOptions &slicer_opts = {});
+
+/**
+ * Characterization / solo-run window in cycles. The paper uses 2 M;
+ * the default here is 100 K for laptop-scale turnaround and can be
+ * overridden with the WSL_WINDOW environment variable.
+ */
+Cycle defaultWindow();
+
+/** Result of running one kernel alone. */
+struct SoloResult
+{
+    Cycle cycles = 0;
+    std::uint64_t threadInsts = 0;
+    std::uint64_t warpInsts = 0;
+    GpuStats stats;
+
+    double warpIpc() const
+    {
+        return cycles ? static_cast<double>(warpInsts) / cycles : 0.0;
+    }
+};
+
+/**
+ * Run a kernel alone for a fixed number of cycles (Table II style).
+ * `cta_quota` caps resident CTAs per SM (-1 = unlimited), which is how
+ * the Figure 3a occupancy sweep is produced.
+ */
+SoloResult runSoloForCycles(const KernelParams &params,
+                            const GpuConfig &cfg, Cycle cycles,
+                            int cta_quota = -1);
+
+/** Run a kernel alone until it executes `target` thread instructions. */
+SoloResult runSoloToTarget(const KernelParams &params,
+                           const GpuConfig &cfg, std::uint64_t target,
+                           Cycle max_cycles);
+
+/**
+ * Warped-Slicer options scaled to a characterization window. The paper
+ * warms up 20 K and profiles 5 K cycles of a 2 M-cycle run (~1.25%);
+ * shrunken windows keep those proportions so the one-time decision
+ * overhead stays amortizable.
+ */
+WarpedSlicerOptions scaledSlicerOptions(Cycle window);
+
+/** Co-run controls. */
+struct CoRunOptions
+{
+    Cycle maxCycles = 8'000'000;
+    WarpedSlicerOptions slicer{};
+    /** Explicit per-kernel CTA quotas; non-empty selects the
+     *  fixed-quota (oracle search) policy regardless of `kind`. */
+    std::vector<int> fixedQuotas;
+};
+
+/** Result of one co-scheduled run. */
+struct CoRunResult
+{
+    Cycle makespan = 0;
+    std::vector<AppOutcome> apps;  //!< aloneCycles filled by caller
+    GpuStats stats;
+    double sysIpc = 0.0;  //!< total insts (warp) / makespan
+    /** Dynamic-policy introspection (empty otherwise). */
+    std::vector<int> chosenCtas;
+    bool spatialFallback = false;
+    bool completed = true;  //!< false if maxCycles hit first
+};
+
+/**
+ * Co-run `apps` under `kind`; each app halts at its thread-instruction
+ * target from `targets`.
+ */
+CoRunResult runCoSchedule(const std::vector<KernelParams> &apps,
+                          const std::vector<std::uint64_t> &targets,
+                          PolicyKind kind, const GpuConfig &cfg,
+                          const CoRunOptions &opts = {});
+
+/**
+ * Benchmark characterization cache: thread-instruction targets and solo
+ * statistics from a `window`-cycle isolated run of each benchmark.
+ */
+class Characterization
+{
+  public:
+    Characterization(const GpuConfig &cfg, Cycle window);
+
+    /** Thread-instruction target for a benchmark (computed lazily). */
+    std::uint64_t target(const std::string &name);
+
+    /** Full solo stats for the characterization run. */
+    const SoloResult &solo(const std::string &name);
+
+    /** Solo cycles to reach the benchmark's own target ( == window). */
+    Cycle aloneCycles(const std::string &name);
+
+    Cycle window() const { return windowCycles; }
+    const GpuConfig &config() const { return cfg; }
+
+  private:
+    GpuConfig cfg;
+    Cycle windowCycles;
+    std::map<std::string, SoloResult> cache;
+};
+
+/**
+ * Enumerate feasible CTA-quota combinations (each kernel >= 1 CTA, all
+ * four resource dimensions respected) for the oracle's exhaustive
+ * search.
+ */
+std::vector<std::vector<int>> enumerateFeasibleCombos(
+    const std::vector<KernelParams> &apps, const GpuConfig &cfg);
+
+} // namespace wsl
+
+#endif // WSL_HARNESS_RUNNER_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Warp-level instruction representation.
+ */
+
+#ifndef WSL_ISA_INSTRUCTION_HH
+#define WSL_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "isa/opcode.hh"
+
+namespace wsl {
+
+/**
+ * One static instruction of a kernel body. Registers are small integers
+ * (architectural register ids within a thread); -1 means unused. The
+ * timing model only needs the dependence structure, not data values.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::IAdd;
+    std::int16_t dst = -1;
+    std::int16_t src0 = -1;
+    std::int16_t src1 = -1;
+    std::int16_t src2 = -1;
+
+    /**
+     * For global memory ops: index of the access "slot" within the loop
+     * body, used by the address generator to derive distinct streams.
+     */
+    std::uint16_t memSlot = 0;
+
+    /** For BraDiv: body index where taken lanes reconverge. */
+    std::int16_t branchTarget = -1;
+    /** For BraDiv: probability (in 1/256) that a lane takes the
+     *  branch and skips the fall-through block. */
+    std::uint8_t divFraction256 = 0;
+
+    /** Number of source operands actually used. */
+    unsigned
+    numSrcs() const
+    {
+        return (src0 >= 0) + (src1 >= 0) + (src2 >= 0);
+    }
+};
+
+} // namespace wsl
+
+#endif // WSL_ISA_INSTRUCTION_HH

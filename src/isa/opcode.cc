@@ -1,0 +1,28 @@
+#include "isa/opcode.hh"
+
+namespace wsl {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:     return "iadd";
+      case Opcode::IMul:     return "imul";
+      case Opcode::FAdd:     return "fadd";
+      case Opcode::FMul:     return "fmul";
+      case Opcode::FFma:     return "ffma";
+      case Opcode::FSin:     return "fsin";
+      case Opcode::FRsqrt:   return "frsqrt";
+      case Opcode::FExp:     return "fexp";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::BraDiv:   return "bra.div";
+      case Opcode::Bar:      return "bar.sync";
+      case Opcode::Exit:     return "exit";
+      default:               return "unknown";
+    }
+}
+
+} // namespace wsl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Warp-level opcode set. The timing simulator executes instructions at
+ * warp granularity; only the execution unit class, latency, and memory
+ * behavior of an opcode matter for timing.
+ */
+
+#ifndef WSL_ISA_OPCODE_HH
+#define WSL_ISA_OPCODE_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+
+namespace wsl {
+
+/** Opcodes understood by the SM pipeline model. */
+enum class Opcode : std::uint8_t
+{
+    // ALU class (executes on the 16-wide ALU clusters)
+    IAdd,
+    IMul,
+    FAdd,
+    FMul,
+    FFma,
+    // SFU class (special function unit)
+    FSin,
+    FRsqrt,
+    FExp,
+    // Memory class (LDST unit)
+    LdGlobal,
+    StGlobal,
+    LdShared,
+    StShared,
+    // Control
+    BraDiv,  //!< divergent branch: a lane subset skips to a target
+    Bar,     //!< CTA-wide barrier
+    Exit     //!< warp termination
+};
+
+/** Execution unit classes an instruction can occupy. */
+enum class UnitKind : std::uint8_t { Alu, Sfu, Ldst, None };
+
+/** Which pipeline executes the opcode. */
+constexpr UnitKind
+unitOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:
+      case Opcode::IMul:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FFma:
+        return UnitKind::Alu;
+      case Opcode::FSin:
+      case Opcode::FRsqrt:
+      case Opcode::FExp:
+        return UnitKind::Sfu;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return UnitKind::Ldst;
+      default:
+        return UnitKind::None;
+    }
+}
+
+/** True for opcodes that read or write memory. */
+constexpr bool
+isMemOp(Opcode op)
+{
+    return unitOf(op) == UnitKind::Ldst;
+}
+
+/** True for memory loads (produce a register value later). */
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdShared;
+}
+
+/** True for global-memory operations (go through L1/L2/DRAM). */
+constexpr bool
+isGlobalMem(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal;
+}
+
+/**
+ * Register-result latency of non-global-memory opcodes. Global loads get
+ * their latency from the memory system instead.
+ */
+inline unsigned
+latencyOf(Opcode op, const GpuConfig &cfg)
+{
+    switch (unitOf(op)) {
+      case UnitKind::Alu:
+        return cfg.aluLatency;
+      case UnitKind::Sfu:
+        return cfg.sfuLatency;
+      case UnitKind::Ldst:
+        return cfg.shmLatency;  // shared-memory ops only
+      default:
+        return 1;
+    }
+}
+
+/** Opcode mnemonic for tracing. */
+const char *opcodeName(Opcode op);
+
+} // namespace wsl
+
+#endif // WSL_ISA_OPCODE_HH

@@ -1,0 +1,145 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace wsl {
+
+Cache::Cache(const CacheParams &p) : params(p)
+{
+    WSL_ASSERT(p.assoc > 0 && p.size >= p.assoc * lineSize,
+               "cache too small for its associativity");
+    sets = p.size / (p.assoc * lineSize);
+    WSL_ASSERT(sets > 0, "cache must have at least one set");
+    lines.resize(sets * p.assoc);
+}
+
+unsigned
+Cache::setOf(Addr line) const
+{
+    return static_cast<unsigned>((line / lineSize) % sets);
+}
+
+Cache::Line *
+Cache::findLine(Addr line)
+{
+    Line *base = &lines[setOf(line) * params.assoc];
+    for (unsigned w = 0; w < params.assoc; ++w)
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line) const
+{
+    return const_cast<Cache *>(this)->findLine(line);
+}
+
+Cache::ReadResult
+Cache::read(Addr line, std::uint64_t token)
+{
+    ++accesses;
+    if (Line *l = findLine(line)) {
+        l->lastUse = ++useClock;
+        return ReadResult::Hit;
+    }
+    ++misses;
+    auto it = mshrs.find(line);
+    if (it != mshrs.end()) {
+        if (it->second.size() >= params.mshrTargets)
+            return ReadResult::Blocked;
+        it->second.push_back(token);
+        return ReadResult::MissMerged;
+    }
+    if (mshrs.size() >= params.numMshrs)
+        return ReadResult::Blocked;
+    mshrs.emplace(line, std::vector<std::uint64_t>{token});
+    return ReadResult::MissNew;
+}
+
+bool
+Cache::write(Addr line, bool mark_dirty)
+{
+    ++accesses;
+    if (Line *l = findLine(line)) {
+        l->lastUse = ++useClock;
+        if (mark_dirty)
+            l->dirty = true;
+        return true;
+    }
+    ++misses;
+    return false;
+}
+
+bool
+Cache::probe(Addr line) const
+{
+    return findLine(line) != nullptr;
+}
+
+Cache::FillResult
+Cache::fill(Addr line)
+{
+    FillResult result;
+    auto it = mshrs.find(line);
+    if (it != mshrs.end()) {
+        result.tokens = std::move(it->second);
+        mshrs.erase(it);
+    }
+    if (findLine(line))
+        return result;  // already present (e.g., refetched line)
+
+    Line *base = &lines[setOf(line) * params.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 1; w < params.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        result.evictedDirty = true;
+        result.evictedLine = victim->tag;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->lastUse = ++useClock;
+    return result;
+}
+
+bool
+Cache::canAcceptRead(Addr line) const
+{
+    if (probe(line))
+        return true;
+    auto it = mshrs.find(line);
+    if (it != mshrs.end())
+        return it->second.size() < params.mshrTargets;
+    return mshrs.size() < params.numMshrs;
+}
+
+bool
+Cache::mshrAvailable(unsigned count) const
+{
+    return mshrs.size() + count <= params.numMshrs;
+}
+
+bool
+Cache::mshrHit(Addr line) const
+{
+    return mshrs.count(line) != 0;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    mshrs.clear();
+    useClock = 0;
+}
+
+} // namespace wsl

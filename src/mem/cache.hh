@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Set-associative cache with MSHR-based miss tracking, used for both the
+ * per-SM L1D and the per-partition L2 slice. LRU replacement. Writes are
+ * no-allocate (GPU-style write-through L1 / write-back L2 is composed by
+ * the owners).
+ */
+
+#ifndef WSL_MEM_CACHE_HH
+#define WSL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+/** Geometry and capacity limits of a cache instance. */
+struct CacheParams
+{
+    unsigned size = 16 * 1024;  //!< bytes
+    unsigned assoc = 4;
+    unsigned numMshrs = 64;
+    /** Requests mergeable into one MSHR entry before it refuses. */
+    unsigned mshrTargets = 32;
+};
+
+/**
+ * Tag array + MSHR file. The cache does not move data; it answers
+ * hit/miss questions and remembers who is waiting on each in-flight
+ * line ("tokens", opaque to the cache).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Outcome of a read lookup. */
+    enum class ReadResult
+    {
+        Hit,         //!< line present
+        MissNew,     //!< MSHR allocated; caller must send a fetch
+        MissMerged,  //!< already in flight; token queued on the MSHR
+        Blocked      //!< no MSHR / target slot available
+    };
+
+    /**
+     * Read access for one line. On miss, `token` is parked on the MSHR
+     * and handed back by fill().
+     */
+    ReadResult read(Addr line, std::uint64_t token);
+
+    /**
+     * Write access (no-allocate): returns true on hit, marking the line
+     * dirty when `mark_dirty`; false on miss with no state change.
+     */
+    bool write(Addr line, bool mark_dirty);
+
+    /** Tag probe without replacement-state update. */
+    bool probe(Addr line) const;
+
+    /** Result of installing a fetched line. */
+    struct FillResult
+    {
+        std::vector<std::uint64_t> tokens;  //!< waiters to complete
+        bool evictedDirty = false;
+        Addr evictedLine = 0;
+    };
+
+    /**
+     * Install a line returned by the next level, waking its MSHR
+     * waiters. Safe to call for a line with no MSHR entry (prefetch-like
+     * fill); tokens will be empty.
+     */
+    FillResult fill(Addr line);
+
+    /** True if `count` new MSHR allocations would succeed right now. */
+    bool mshrAvailable(unsigned count = 1) const;
+
+    /** True if the line already has an in-flight MSHR entry. */
+    bool mshrHit(Addr line) const;
+
+    /** True if a read of `line` is guaranteed not to return Blocked
+     *  (present, mergeable, or a fresh MSHR is available). */
+    bool canAcceptRead(Addr line) const;
+
+    unsigned mshrsInUse() const { return mshrs.size(); }
+    unsigned numSets() const { return sets; }
+
+    /** Drop all tags and MSHRs (used between experiment phases). */
+    void reset();
+
+    // Accumulated counters (reads + writes).
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setOf(Addr line) const;
+    Line *findLine(Addr line);
+    const Line *findLine(Addr line) const;
+
+    CacheParams params;
+    unsigned sets;
+    std::vector<Line> lines;    //!< sets * assoc, row-major by set
+    std::uint64_t useClock = 0;
+    /** line address -> tokens waiting on the in-flight fetch. */
+    std::unordered_map<Addr, std::vector<std::uint64_t>> mshrs;
+};
+
+} // namespace wsl
+
+#endif // WSL_MEM_CACHE_HH

@@ -1,0 +1,113 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace wsl {
+
+DramChannel::DramChannel(const GpuConfig &c) : cfg(c)
+{
+    banks.resize(cfg.dramBanks);
+}
+
+unsigned
+DramChannel::bankOf(Addr line) const
+{
+    // Lines interleave across partitions first (see partitionOf), then
+    // across this channel's banks, so a sequential stream fills one row
+    // of each bank before moving on.
+    const std::uint64_t local =
+        (line / lineSize) / cfg.numMemPartitions;
+    return static_cast<unsigned>(local % cfg.dramBanks);
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr line) const
+{
+    const std::uint64_t local =
+        (line / lineSize) / cfg.numMemPartitions;
+    const std::uint64_t lines_per_row = cfg.dramRowBytes / lineSize;
+    return local / (cfg.dramBanks * lines_per_row);
+}
+
+void
+DramChannel::push(const DramRequest &req)
+{
+    queue.push_back(req);
+}
+
+void
+DramChannel::tick(Cycle now, std::vector<DramCompletion> &completed)
+{
+    // Retire finished transfers.
+    for (auto it = inFlight.begin(); it != inFlight.end();) {
+        if (it->doneAt <= now) {
+            if (!it->write)
+                completed.push_back({it->line, it->doneAt});
+            it = inFlight.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (queue.empty())
+        return;
+
+    // FR-FCFS: among arrived requests, prefer the oldest row hit whose
+    // bank is ready; otherwise the oldest request overall (activating
+    // its row if needed).
+    int hit_idx = -1;
+    int oldest_idx = -1;
+    for (int i = 0; i < static_cast<int>(queue.size()); ++i) {
+        const DramRequest &r = queue[i];
+        if (r.arrive > now)
+            continue;
+        if (oldest_idx < 0)
+            oldest_idx = i;
+        const Bank &b = banks[bankOf(r.line)];
+        if (b.openRow == static_cast<std::int64_t>(rowOf(r.line)) &&
+            b.readyAt <= now) {
+            hit_idx = i;
+            break;  // queue is in arrival order; first hit is oldest hit
+        }
+    }
+    if (oldest_idx < 0)
+        return;
+
+    if (hit_idx >= 0) {
+        // Column access on an open row.
+        if (busBusyUntil > now + cfg.tCL)
+            return;  // data bus contention; retry next cycle
+        DramRequest req = queue[hit_idx];
+        queue.erase(queue.begin() + hit_idx);
+        Bank &bank = banks[bankOf(req.line)];
+        const Cycle data_start = std::max(now + cfg.tCL, busBusyUntil);
+        const Cycle done = data_start + cfg.dramBurst;
+        busBusyUntil = done;
+        bank.readyAt = now + cfg.dramBurst;  // CCD approximation
+        inFlight.push_back({req.line, req.write, done});
+        stats.dramBusyCycles += cfg.dramBurst;
+        ++stats.dramRowHits;
+        if (req.write)
+            ++stats.dramWrites;
+        else
+            ++stats.dramReads;
+        return;
+    }
+
+    // Row miss on the oldest request: precharge + activate its bank.
+    const DramRequest &req = queue[oldest_idx];
+    Bank &bank = banks[bankOf(req.line)];
+    if (bank.readyAt > now)
+        return;  // bank busy with a previous activate/precharge
+    if (lastActivateAny + cfg.tRRD > now)
+        return;  // activate-to-activate spacing
+    const Cycle pre_start = std::max(now, bank.lastActivate + cfg.tRAS);
+    const Cycle act_done = pre_start + cfg.tRP + cfg.tRCD;
+    bank.openRow = static_cast<std::int64_t>(rowOf(req.line));
+    bank.readyAt = act_done;
+    bank.lastActivate = pre_start + cfg.tRP;
+    lastActivateAny = now;
+    ++stats.dramRowMisses;
+    // The request stays queued; it issues as a row hit once readyAt.
+}
+
+} // namespace wsl

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GDDR5 channel model with FR-FCFS scheduling (paper Table I). Banks
+ * track open rows; the scheduler prefers row hits over oldest-first.
+ * Timings are expressed in core cycles (pre-scaled in GpuConfig).
+ */
+
+#ifndef WSL_MEM_DRAM_HH
+#define WSL_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace wsl {
+
+/** One scheduled DRAM transaction. */
+struct DramRequest
+{
+    Addr line = 0;
+    bool write = false;
+    Cycle arrive = 0;
+};
+
+/** A finished DRAM read (writes complete silently). */
+struct DramCompletion
+{
+    Addr line = 0;
+    Cycle readyAt = 0;
+};
+
+/**
+ * One memory channel: a FR-FCFS scheduling window over banked GDDR5
+ * with row-buffer timing (tRCD/tRP/tRAS/tRRD/tCL) and a shared data bus
+ * (dramBurst cycles per 128 B transaction).
+ */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const GpuConfig &cfg);
+
+    /** True if the scheduling window can take another request. */
+    bool canAccept() const { return queue.size() < cfg.dramQueue; }
+
+    /** Enqueue a transaction (caller observes canAccept first; eviction
+     *  writebacks may push past the limit to avoid deadlock). */
+    void push(const DramRequest &req);
+
+    /**
+     * Advance one core cycle: issue at most one command, retire finished
+     * reads into `completed`.
+     */
+    void tick(Cycle now, std::vector<DramCompletion> &completed);
+
+    bool busy() const { return !queue.empty() || !inFlight.empty(); }
+    std::size_t queueDepth() const { return queue.size(); }
+
+    PartitionStats stats;
+
+  private:
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Cycle readyAt = 0;        //!< earliest next column command
+        Cycle lastActivate = 0;
+    };
+
+    unsigned bankOf(Addr line) const;
+    std::uint64_t rowOf(Addr line) const;
+
+    const GpuConfig cfg;
+    std::vector<Bank> banks;
+    std::vector<DramRequest> queue;   //!< FR-FCFS window (small)
+    struct Transfer { Addr line; bool write; Cycle doneAt; };
+    std::vector<Transfer> inFlight;
+    Cycle busBusyUntil = 0;
+    Cycle lastActivateAny = 0;
+};
+
+} // namespace wsl
+
+#endif // WSL_MEM_DRAM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One memory partition: an L2 slice (write-back, allocate-on-read) in
+ * front of a GDDR5 channel. Six of these serve the 16 SMs (Table I).
+ */
+
+#ifndef WSL_MEM_PARTITION_HH
+#define WSL_MEM_PARTITION_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/request.hh"
+
+namespace wsl {
+
+/**
+ * Memory partition. Requests arrive time-stamped from the interconnect;
+ * responses carry their own interconnect latency back to the SMs.
+ */
+class MemPartition
+{
+  public:
+    MemPartition(const GpuConfig &cfg, unsigned index);
+
+    /** True while the input queue has room (interconnect backpressure). */
+    bool canAcceptRequest() const { return reqQueue.size() < 64; }
+
+    /** Enqueue a request from the interconnect. */
+    void pushRequest(const MemRequest &req) { reqQueue.push_back(req); }
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** Responses ready to route back to the SMs (drained by the GPU). */
+    std::vector<MemResponse> &responses() { return outResponses; }
+
+    /** True while any request is queued or in flight. */
+    bool busy() const;
+
+    /** Aggregate counters (L2 + DRAM). */
+    PartitionStats stats() const;
+
+    const Cache &l2Cache() const { return l2; }
+
+    /** Drop cached state between experiment phases. */
+    void reset();
+
+  private:
+    void serviceRequest(const MemRequest &req, Cycle now);
+
+    const GpuConfig cfg;
+    [[maybe_unused]] unsigned index;
+    Cache l2;
+    DramChannel dram;
+    std::deque<MemRequest> reqQueue;
+    std::vector<MemResponse> outResponses;
+    std::vector<DramCompletion> dramDone;  //!< scratch, reused per tick
+    PartitionStats l2Stats;
+};
+
+} // namespace wsl
+
+#endif // WSL_MEM_PARTITION_HH

@@ -1,0 +1,66 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace wsl {
+
+double
+systemIpc(const std::vector<AppOutcome> &apps, std::uint64_t makespan)
+{
+    if (makespan == 0)
+        return 0.0;
+    std::uint64_t insts = 0;
+    for (const AppOutcome &a : apps)
+        insts += a.insts;
+    return static_cast<double>(insts) / static_cast<double>(makespan);
+}
+
+double
+speedup(const AppOutcome &app)
+{
+    WSL_ASSERT(app.cycles > 0 && app.aloneCycles > 0,
+               "speedup needs completed runs");
+    const double shared = static_cast<double>(app.insts) / app.cycles;
+    const double alone =
+        static_cast<double>(app.insts) / app.aloneCycles;
+    return shared / alone;
+}
+
+double
+minimumSpeedup(const std::vector<AppOutcome> &apps)
+{
+    double min_speedup = std::numeric_limits<double>::infinity();
+    for (const AppOutcome &a : apps)
+        min_speedup = std::min(min_speedup, speedup(a));
+    return apps.empty() ? 0.0 : min_speedup;
+}
+
+double
+antt(const std::vector<AppOutcome> &apps)
+{
+    if (apps.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const AppOutcome &a : apps)
+        sum += 1.0 / speedup(a);
+    return sum / static_cast<double>(apps.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        WSL_ASSERT(v > 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace wsl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multiprogramming metrics used in the paper's evaluation: normalized
+ * system IPC (Figure 6/8), fairness as minimum speedup (Figure 9a), and
+ * average normalized turnaround time (Figure 9b).
+ */
+
+#ifndef WSL_METRICS_METRICS_HH
+#define WSL_METRICS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wsl {
+
+/** Per-application outcome of a co-scheduled run. */
+struct AppOutcome
+{
+    std::uint64_t insts = 0;   //!< instructions the app executed
+    std::uint64_t cycles = 0;  //!< cycles until the app finished
+    std::uint64_t aloneCycles = 0;  //!< solo-run cycles for same insts
+};
+
+/**
+ * System throughput of a co-run: total instructions over the makespan
+ * (the paper's "average IPC of concurrently executed kernels").
+ */
+double systemIpc(const std::vector<AppOutcome> &apps,
+                 std::uint64_t makespan);
+
+/** Per-app speedup vs. running alone: (insts/cycles) / (insts/alone). */
+double speedup(const AppOutcome &app);
+
+/** Fairness: minimum speedup across apps (Figure 9a). */
+double minimumSpeedup(const std::vector<AppOutcome> &apps);
+
+/** ANTT: arithmetic mean of per-app normalized turnaround times
+ *  (1/speedup); lower is better (Figure 9b). */
+double antt(const std::vector<AppOutcome> &apps);
+
+/** Geometric mean helper for figure summaries. */
+double geomean(const std::vector<double> &values);
+
+} // namespace wsl
+
+#endif // WSL_METRICS_METRICS_HH

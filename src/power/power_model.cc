@@ -1,0 +1,44 @@
+#include "power/power_model.hh"
+
+namespace wsl {
+
+PowerReport
+computePower(const GpuStats &stats, const PowerParams &p)
+{
+    PowerReport r;
+    const double nj = 1e-9;
+
+    // Classify issued warp instructions by the busy-cycle shares: the
+    // counters keep per-unit issue counts implicitly via busy cycles
+    // scaled by initiation intervals; we charge per access instead.
+    const double alu_insts =
+        static_cast<double>(stats.aluBusyCycles) / 2.0;  // init = 2
+    const double sfu_insts =
+        static_cast<double>(stats.sfuBusyCycles) / 4.0;  // init = 4
+    const double ldst_issues = static_cast<double>(stats.ldstIssues);
+
+    double dyn = 0.0;
+    dyn += alu_insts * p.aluOpNj;
+    dyn += sfu_insts * p.sfuOpNj;
+    dyn += ldst_issues * p.ldstOpNj;
+    dyn += static_cast<double>(stats.regReads + stats.regWrites) *
+           p.regAccessNj;
+    dyn += static_cast<double>(stats.shmAccesses) * p.shmAccessNj;
+    dyn += static_cast<double>(stats.l1Accesses) * p.l1AccessNj;
+    dyn += static_cast<double>(stats.l2Accesses) * p.l2AccessNj;
+    dyn += static_cast<double>(stats.dramReads + stats.dramWrites) *
+           p.dramAccessNj;
+    dyn += static_cast<double>(stats.ifetches) * p.ifetchNj;
+
+    r.seconds = static_cast<double>(stats.cycles) / p.coreClockHz;
+    r.dynamicEnergyJ = dyn * nj + p.constantDynamicWatts * r.seconds;
+    r.leakageEnergyJ = p.leakageWatts * r.seconds;
+    r.totalEnergyJ = r.dynamicEnergyJ + r.leakageEnergyJ;
+    if (r.seconds > 0.0) {
+        r.dynamicPowerW = r.dynamicEnergyJ / r.seconds;
+        r.totalPowerW = r.totalEnergyJ / r.seconds;
+    }
+    return r;
+}
+
+} // namespace wsl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GPUWattch/McPAT-style event-based power model (paper Section V-G).
+ * Dynamic energy is per-event (pipeline ops, register/shared/L1/L2/DRAM
+ * accesses); leakage is constant. The per-event energies are calibrated
+ * so a 16-SM machine at typical activity dissipates ~37.7 W dynamic and
+ * 34.6 W leakage, the figures the paper reports from GPUWattch.
+ */
+
+#ifndef WSL_POWER_POWER_MODEL_HH
+#define WSL_POWER_POWER_MODEL_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace wsl {
+
+/** Per-event dynamic energies (nanojoules) and leakage (watts). */
+struct PowerParams
+{
+    double aluOpNj = 0.6;       //!< per warp ALU instruction
+    double sfuOpNj = 1.6;       //!< per warp SFU instruction
+    double ldstOpNj = 0.5;      //!< per warp LDST instruction issue
+    double regAccessNj = 0.012; //!< per thread register read/write
+    double shmAccessNj = 0.9;   //!< per warp shared-memory access
+    double l1AccessNj = 1.1;    //!< per L1 transaction
+    double l2AccessNj = 2.4;    //!< per L2 transaction
+    double dramAccessNj = 24.0; //!< per DRAM transaction
+    double ifetchNj = 0.4;      //!< per i-buffer refill
+    /** Work-independent dynamic power (clock tree, control) that burns
+     *  whenever the GPU runs — GPUWattch's constant dynamic component. */
+    double constantDynamicWatts = 10.0;
+    double leakageWatts = 34.6; //!< whole-GPU leakage (16 SMs)
+    double coreClockHz = 1400e6;
+};
+
+/** Energy/power roll-up for one simulation. */
+struct PowerReport
+{
+    double dynamicEnergyJ = 0.0;
+    double leakageEnergyJ = 0.0;
+    double totalEnergyJ = 0.0;
+    double dynamicPowerW = 0.0;
+    double totalPowerW = 0.0;
+    double seconds = 0.0;
+};
+
+/** Compute the power report for a finished run's aggregate stats. */
+PowerReport computePower(const GpuStats &stats,
+                         const PowerParams &params = {});
+
+} // namespace wsl
+
+#endif // WSL_POWER_POWER_MODEL_HH

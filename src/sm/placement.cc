@@ -1,0 +1,123 @@
+#include "sm/placement.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace wsl {
+
+PlacementAllocator::PlacementAllocator(std::uint64_t capacity,
+                                       PlacementPolicy p)
+    : cap(capacity), policy(p)
+{
+    WSL_ASSERT(capacity > 0, "allocator needs a non-empty arena");
+    freeRegions.emplace(0, capacity);
+}
+
+std::int64_t
+PlacementAllocator::alloc(std::uint64_t size)
+{
+    if (size == 0)
+        return 0;
+    auto chosen = freeRegions.end();
+    if (policy == PlacementPolicy::FirstFit) {
+        for (auto it = freeRegions.begin(); it != freeRegions.end();
+             ++it) {
+            if (it->second >= size) {
+                chosen = it;
+                break;
+            }
+        }
+    } else {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (auto it = freeRegions.begin(); it != freeRegions.end();
+             ++it) {
+            if (it->second >= size && it->second < best) {
+                best = it->second;
+                chosen = it;
+            }
+        }
+    }
+    if (chosen == freeRegions.end())
+        return noFit;
+
+    const std::uint64_t offset = chosen->first;
+    const std::uint64_t region = chosen->second;
+    freeRegions.erase(chosen);
+    if (region > size)
+        freeRegions.emplace(offset + size, region - size);
+    used += size;
+    return static_cast<std::int64_t>(offset);
+}
+
+void
+PlacementAllocator::free(std::int64_t offset, std::uint64_t size)
+{
+    if (size == 0)
+        return;
+    WSL_ASSERT(offset >= 0 &&
+                   static_cast<std::uint64_t>(offset) + size <= cap,
+               "freeing outside the arena");
+    WSL_ASSERT(used >= size, "freeing more than allocated");
+    auto [it, inserted] =
+        freeRegions.emplace(static_cast<std::uint64_t>(offset), size);
+    WSL_ASSERT(inserted, "double free at same offset");
+    used -= size;
+    coalesce(it);
+}
+
+std::map<std::uint64_t, std::uint64_t>::iterator
+PlacementAllocator::coalesce(
+    std::map<std::uint64_t, std::uint64_t>::iterator it)
+{
+    // Merge with the successor.
+    auto next = std::next(it);
+    if (next != freeRegions.end() &&
+        it->first + it->second == next->first) {
+        it->second += next->second;
+        freeRegions.erase(next);
+    }
+    // Merge with the predecessor.
+    if (it != freeRegions.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            freeRegions.erase(it);
+            return prev;
+        }
+    }
+    return it;
+}
+
+bool
+PlacementAllocator::fits(std::uint64_t size) const
+{
+    return size == 0 || largestFreeBlock() >= size;
+}
+
+std::uint64_t
+PlacementAllocator::largestFreeBlock() const
+{
+    std::uint64_t largest = 0;
+    for (const auto &[offset, size] : freeRegions)
+        largest = std::max(largest, size);
+    return largest;
+}
+
+double
+PlacementAllocator::fragmentation() const
+{
+    const std::uint64_t total_free = freeBytes();
+    if (total_free == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(largestFreeBlock()) / total_free;
+}
+
+void
+PlacementAllocator::reset()
+{
+    freeRegions.clear();
+    freeRegions.emplace(0, cap);
+    used = 0;
+}
+
+} // namespace wsl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Placement-based storage allocator, modeling where in shared memory /
+ * the register file a CTA's allocation physically lands. The paper's
+ * Figure 2 argues about *fragmentation*: which allocation strategies
+ * leave freed storage unusable for the other kernel's larger CTAs.
+ * The timing model allocates by amounts (ResourcePool) because
+ * Warped-Slicer partitions by amounts; this allocator reproduces and
+ * quantifies the placement-level argument (bench_fig2) and is what a
+ * hardware implementation's base/bound assignment would need.
+ */
+
+#ifndef WSL_SM_PLACEMENT_HH
+#define WSL_SM_PLACEMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace wsl {
+
+/** Where a new block is placed among the free regions. */
+enum class PlacementPolicy
+{
+    FirstFit,  //!< lowest-address free region that fits
+    BestFit,   //!< smallest free region that fits
+};
+
+/**
+ * An address-space allocator over [0, capacity) with coalescing frees.
+ * Allocation returns byte offsets; fragmentation metrics expose the
+ * Figure 2 effects.
+ */
+class PlacementAllocator
+{
+  public:
+    explicit PlacementAllocator(
+        std::uint64_t capacity,
+        PlacementPolicy policy = PlacementPolicy::FirstFit);
+
+    /** Invalid offset marker returned when nothing fits. */
+    static constexpr std::int64_t noFit = -1;
+
+    /**
+     * Allocate `size` bytes; returns the block's offset or noFit.
+     * Zero-size allocations succeed at offset 0 without consuming
+     * space.
+     */
+    std::int64_t alloc(std::uint64_t size);
+
+    /** Release a block previously returned by alloc(). */
+    void free(std::int64_t offset, std::uint64_t size);
+
+    /** Would an allocation of `size` succeed right now? */
+    bool fits(std::uint64_t size) const;
+
+    std::uint64_t capacity() const { return cap; }
+    std::uint64_t usedBytes() const { return used; }
+    std::uint64_t freeBytes() const { return cap - used; }
+
+    /** Size of the largest contiguous free region. */
+    std::uint64_t largestFreeBlock() const;
+
+    /** Number of disjoint free regions. */
+    unsigned numFreeRegions() const
+    {
+        return static_cast<unsigned>(freeRegions.size());
+    }
+
+    /**
+     * External fragmentation: 1 - largestFree/totalFree (0 when free
+     * space is contiguous or exhausted).
+     */
+    double fragmentation() const;
+
+    /** Release everything. */
+    void reset();
+
+  private:
+    std::map<std::uint64_t, std::uint64_t>::iterator
+    coalesce(std::map<std::uint64_t, std::uint64_t>::iterator it);
+
+    std::uint64_t cap;
+    PlacementPolicy policy;
+    std::uint64_t used = 0;
+    /** offset -> size of each free region, address ordered. */
+    std::map<std::uint64_t, std::uint64_t> freeRegions;
+};
+
+} // namespace wsl
+
+#endif // WSL_SM_PLACEMENT_HH

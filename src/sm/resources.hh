@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Multi-dimensional SM resource accounting. A CTA's launch consumes
+ * registers, shared memory, thread slots, and a CTA slot; intra-SM
+ * slicing policies reason about all four dimensions (paper Section II-C).
+ */
+
+#ifndef WSL_SM_RESOURCES_HH
+#define WSL_SM_RESOURCES_HH
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "workloads/kernel_params.hh"
+
+namespace wsl {
+
+/** A point in the 4-D SM resource space. */
+struct ResourceVec
+{
+    unsigned regs = 0;     //!< 32-bit registers
+    unsigned shm = 0;      //!< shared memory bytes
+    unsigned threads = 0;  //!< thread slots (warp-granular)
+    unsigned ctas = 0;     //!< CTA slots
+
+    bool
+    fitsIn(const ResourceVec &cap) const
+    {
+        return regs <= cap.regs && shm <= cap.shm &&
+               threads <= cap.threads && ctas <= cap.ctas;
+    }
+
+    ResourceVec
+    operator+(const ResourceVec &o) const
+    {
+        return {regs + o.regs, shm + o.shm, threads + o.threads,
+                ctas + o.ctas};
+    }
+
+    ResourceVec
+    operator-(const ResourceVec &o) const
+    {
+        return {regs - o.regs, shm - o.shm, threads - o.threads,
+                ctas - o.ctas};
+    }
+
+    ResourceVec
+    scaled(unsigned n) const
+    {
+        return {regs * n, shm * n, threads * n, ctas * n};
+    }
+
+    /** Divide every dimension by k (for Even partitioning). */
+    ResourceVec
+    dividedBy(unsigned k) const
+    {
+        return {regs / k, shm / k, threads / k, ctas / k};
+    }
+
+    bool
+    operator==(const ResourceVec &o) const = default;
+
+    /** Per-CTA demand of a kernel. Threads are warp-granular because
+     *  warp slots are the schedulable unit. */
+    static ResourceVec
+    ofCta(const KernelParams &k)
+    {
+        return {k.regsPerCta(), k.shmPerCta, k.warpsPerCta() * warpSize,
+                1};
+    }
+
+    /** Total capacity of one SM. */
+    static ResourceVec
+    capacity(const GpuConfig &cfg)
+    {
+        return {cfg.numRegsPerSm, cfg.sharedMemPerSm, cfg.maxThreadsPerSm,
+                cfg.maxCtasPerSm};
+    }
+};
+
+/** Allocator over one SM's resources (counting, not placement). */
+class ResourcePool
+{
+  public:
+    explicit ResourcePool(const ResourceVec &capacity) : cap(capacity) {}
+
+    bool
+    canAlloc(const ResourceVec &req) const
+    {
+        return (used + req).fitsIn(cap);
+    }
+
+    /** Allocate or return false without side effects. */
+    bool
+    tryAlloc(const ResourceVec &req)
+    {
+        if (!canAlloc(req))
+            return false;
+        used = used + req;
+        return true;
+    }
+
+    void
+    free(const ResourceVec &req)
+    {
+        WSL_ASSERT(req.fitsIn(used), "freeing more than allocated");
+        used = used - req;
+    }
+
+    const ResourceVec &usedVec() const { return used; }
+    const ResourceVec &capacityVec() const { return cap; }
+    ResourceVec freeVec() const { return cap - used; }
+
+  private:
+    ResourceVec cap;
+    ResourceVec used;
+};
+
+} // namespace wsl
+
+#endif // WSL_SM_RESOURCES_HH

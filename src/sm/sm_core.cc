@@ -1,0 +1,692 @@
+#include "sm/sm_core.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+
+namespace wsl {
+
+namespace {
+
+/** Bit for an architectural register in a scoreboard mask. */
+inline std::uint32_t
+regBit(int reg)
+{
+    return reg >= 0 ? (std::uint32_t{1} << (reg & 31)) : 0u;
+}
+
+inline std::uint32_t
+srcMaskOf(const Instruction &inst)
+{
+    return regBit(inst.src0) | regBit(inst.src1) | regBit(inst.src2);
+}
+
+} // namespace
+
+SmCore::SmCore(const GpuConfig &c, SmId id)
+    : cfg(c), smId(id), schedKind(c.scheduler),
+      rng(c.seed * 7919 + id * 104729 + 1),
+      resourcePool(ResourceVec::capacity(c)),
+      l1(CacheParams{c.l1Size, c.l1Assoc, c.l1Mshrs, 128})
+{
+    warps.resize(cfg.maxWarpsPerSm());
+    ctas.resize(cfg.maxCtasPerSm);
+    freeWarpSlots.reserve(warps.size());
+    for (unsigned w = 0; w < warps.size(); ++w)
+        freeWarpSlots.push_back(static_cast<std::uint16_t>(w));
+    schedLists.resize(cfg.numSchedulers);
+    lastIssued.assign(cfg.numSchedulers, -1);
+    rrPos.assign(cfg.numSchedulers, 0);
+    aluBusyUntil.assign(cfg.numSchedulers, 0);
+    quotas.fill(-1);
+}
+
+bool
+SmCore::canAcceptCta(const KernelParams &params) const
+{
+    return resourcePool.canAlloc(ResourceVec::ofCta(params)) &&
+           freeWarpSlots.size() >= params.warpsPerCta();
+}
+
+bool
+SmCore::launchCta(KernelId kid, const KernelParams &params,
+                  const KernelProgram &program, unsigned cta_global_id,
+                  Addr kernel_base, Cycle now)
+{
+    WSL_ASSERT(kid >= 0 &&
+               kid < static_cast<int>(maxConcurrentKernels),
+               "kernel id out of range");
+    const ResourceVec need = ResourceVec::ofCta(params);
+    if (freeWarpSlots.size() < params.warpsPerCta())
+        return false;
+    int slot = -1;
+    for (unsigned c = 0; c < ctas.size(); ++c) {
+        if (!ctas[c].active) {
+            slot = static_cast<int>(c);
+            break;
+        }
+    }
+    if (slot < 0 || !resourcePool.tryAlloc(need))
+        return false;
+
+    CtaSlot &cta = ctas[slot];
+    cta.active = true;
+    cta.kernel = kid;
+    cta.ctaGlobalId = cta_global_id;
+    cta.warpsTotal = params.warpsPerCta();
+    cta.warpsFinished = 0;
+    cta.barrierWaiting = 0;
+    cta.alloc = need;
+    cta.params = &params;
+    cta.warpIdxs.clear();
+
+    for (unsigned i = 0; i < params.warpsPerCta(); ++i) {
+        const std::uint16_t widx = freeWarpSlots.back();
+        freeWarpSlots.pop_back();
+        WarpState &w = warps[widx];
+        const std::uint32_t epoch = w.epoch;
+        w = WarpState{};
+        w.epoch = epoch;
+        w.active = true;
+        w.ctaSlot = slot;
+        w.kernel = kid;
+        w.warpInCta = i;
+        w.activeThreads =
+            std::min(warpSize, params.blockDim - i * warpSize);
+        w.activeMask = w.activeThreads >= 32
+                           ? 0xffffffffu
+                           : ((1u << w.activeThreads) - 1);
+        w.program = &program;
+        w.age = ageCounter++;
+        cta.warpIdxs.push_back(widx);
+        schedLists[widx % cfg.numSchedulers].push_back(widx);
+        fetchQueue.push_back({widx, w.epoch});
+        ++liveWarps;
+    }
+    // Stash the kernel base in the CTA by encoding it per-warp at
+    // address-generation time; the CTA only needs the base pointer.
+    cta.kernelBase = kernel_base;
+    ++resident[kid];
+    ++smStats.ctasLaunched;
+    (void)now;
+    return true;
+}
+
+void
+SmCore::removeFromSchedLists(const CtaSlot &cta)
+{
+    for (auto &list : schedLists) {
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](std::uint16_t w) {
+                                      return warps[w].ctaSlot >= 0 &&
+                                             &ctas[warps[w].ctaSlot] ==
+                                                 &cta;
+                                  }),
+                   list.end());
+    }
+}
+
+void
+SmCore::completeCta(int cta_idx)
+{
+    CtaSlot &cta = ctas[cta_idx];
+    WSL_ASSERT(cta.active, "completing inactive CTA");
+    removeFromSchedLists(cta);
+    for (std::uint16_t widx : cta.warpIdxs) {
+        WarpState &w = warps[widx];
+        if (w.active && !w.finished)
+            --liveWarps;
+        w.active = false;
+        w.finished = true;
+        ++w.epoch;  // invalidate in-flight writebacks to this slot
+        freeWarpSlots.push_back(widx);
+    }
+    resourcePool.free(cta.alloc);
+    WSL_ASSERT(resident[cta.kernel] > 0, "resident CTA underflow");
+    --resident[cta.kernel];
+    ctaCompletions.push_back(cta.kernel);
+    ++smStats.ctasCompleted;
+    cta.active = false;
+    cta.warpIdxs.clear();
+}
+
+void
+SmCore::evictKernel(KernelId kid)
+{
+    for (unsigned c = 0; c < ctas.size(); ++c) {
+        CtaSlot &cta = ctas[c];
+        if (!cta.active || cta.kernel != kid)
+            continue;
+        removeFromSchedLists(cta);
+        for (std::uint16_t widx : cta.warpIdxs) {
+            WarpState &w = warps[widx];
+            if (w.active && !w.finished)
+                --liveWarps;
+            w.active = false;
+            w.finished = true;
+            ++w.epoch;
+            freeWarpSlots.push_back(widx);
+        }
+        resourcePool.free(cta.alloc);
+        cta.active = false;
+        cta.warpIdxs.clear();
+    }
+    resident[kid] = 0;
+}
+
+unsigned
+SmCore::residentCtas(KernelId kid) const
+{
+    WSL_ASSERT(kid >= 0 && kid < static_cast<int>(maxConcurrentKernels),
+               "kernel id out of range");
+    return resident[kid];
+}
+
+unsigned
+SmCore::totalResidentCtas() const
+{
+    unsigned total = 0;
+    for (unsigned r : resident)
+        total += r;
+    return total;
+}
+
+void
+SmCore::setQuota(KernelId kid, int max_ctas)
+{
+    WSL_ASSERT(kid >= 0 && kid < static_cast<int>(maxConcurrentKernels),
+               "kernel id out of range");
+    quotas[kid] = max_ctas;
+}
+
+int
+SmCore::quota(KernelId kid) const
+{
+    WSL_ASSERT(kid >= 0 && kid < static_cast<int>(maxConcurrentKernels),
+               "kernel id out of range");
+    return quotas[kid];
+}
+
+void
+SmCore::clearQuotas()
+{
+    quotas.fill(-1);
+}
+
+std::uint16_t
+SmCore::allocLoadEntry()
+{
+    if (!freeLoads.empty()) {
+        const std::uint16_t idx = freeLoads.back();
+        freeLoads.pop_back();
+        return idx;
+    }
+    loads.push_back({});
+    return static_cast<std::uint16_t>(loads.size() - 1);
+}
+
+void
+SmCore::completeLoadTransaction(std::uint16_t load_idx)
+{
+    WSL_ASSERT(load_idx < loads.size(), "bad load index");
+    PendingLoad &load = loads[load_idx];
+    WSL_ASSERT(load.valid && load.transLeft > 0,
+               "completing an idle load entry");
+    if (--load.transLeft == 0) {
+        WarpState &w = warps[load.warp];
+        if (w.epoch == load.epoch)
+            w.pendingLong &= ~load.regMask;
+        load.valid = false;
+        freeLoads.push_back(load_idx);
+    }
+}
+
+void
+SmCore::maybeReleaseBarrier(CtaSlot &cta)
+{
+    const unsigned unfinished = cta.warpsTotal - cta.warpsFinished;
+    if (unfinished == 0 || cta.barrierWaiting < unfinished)
+        return;
+    for (std::uint16_t widx : cta.warpIdxs)
+        warps[widx].atBarrier = false;
+    cta.barrierWaiting = 0;
+}
+
+void
+SmCore::finishWarp(std::uint16_t widx)
+{
+    WarpState &w = warps[widx];
+    WSL_ASSERT(w.active && !w.finished, "double finish");
+    w.finished = true;
+    --liveWarps;
+    CtaSlot &cta = ctas[w.ctaSlot];
+    if (w.atBarrier) {
+        w.atBarrier = false;
+        WSL_ASSERT(cta.barrierWaiting > 0, "barrier underflow");
+        --cta.barrierWaiting;
+    }
+    ++cta.warpsFinished;
+    if (cta.warpsFinished == cta.warpsTotal)
+        completeCta(w.ctaSlot);
+    else
+        maybeReleaseBarrier(cta);
+}
+
+void
+SmCore::advanceWarp(std::uint16_t widx, Cycle now)
+{
+    (void)now;
+    WarpState &w = warps[widx];
+    WSL_ASSERT(w.ibuf > 0, "advancing without a buffered instruction");
+    --w.ibuf;
+    ++w.pc;
+    // Reconverge lanes whose rejoin point has been reached (entries
+    // are pushed in branch order; rejoin points are forward, so the
+    // innermost pending rejoin is at the back).
+    while (!w.divStack.empty() &&
+           (w.divStack.back().second == w.pc ||
+            (w.pc >= w.program->body.size() &&
+             w.divStack.back().second >= w.program->body.size()))) {
+        w.activeMask |= w.divStack.back().first;
+        w.divStack.pop_back();
+    }
+    if (w.pc >= w.program->body.size()) {
+        WSL_ASSERT(w.divStack.empty(),
+                   "divergence must reconverge within one iteration");
+        w.pc = 0;
+        ++w.iter;
+        if (w.iter >= w.program->loopIters)
+            finishWarp(widx);
+    }
+    if (w.active && !w.finished && w.ibuf == 0 && !w.fetchPending)
+        fetchQueue.push_back({widx, w.epoch});
+}
+
+SmCore::IssueOutcome
+SmCore::tryIssue(std::uint16_t widx, unsigned sched, Cycle now)
+{
+    WarpState &w = warps[widx];
+    if (w.atBarrier)
+        return IssueOutcome::Barrier;
+    if (w.ibuf == 0)
+        return IssueOutcome::Empty;
+
+    const Instruction &inst = w.program->body[w.pc];
+    const std::uint32_t touched = srcMaskOf(inst) | regBit(inst.dst);
+    if (touched & w.pendingLong)
+        return IssueOutcome::MemWait;
+    if (touched & w.pendingShort)
+        return IssueOutcome::ShortWait;
+
+    switch (unitOf(inst.op)) {
+      case UnitKind::Alu:
+        if (aluBusyUntil[sched] > now)
+            return IssueOutcome::ExecBusy;
+        break;
+      case UnitKind::Sfu:
+        if (sfuBusyUntil > now)
+            return IssueOutcome::ExecBusy;
+        break;
+      case UnitKind::Ldst: {
+        if (ldstBusyUntil > now)
+            return IssueOutcome::ExecBusy;
+        if (isGlobalMem(inst.op)) {
+            // Structural backpressure from the memory system counts as
+            // a long-memory-latency stall (the warp is blocked on the
+            // memory system, not on a pipeline).
+            const CtaSlot &cta = ctas[w.ctaSlot];
+            const unsigned trans = cta.params->mem.transactionsPerAccess;
+            if (outRequests.size() + trans > cfg.l1MissQueue * 2)
+                return IssueOutcome::MemWait;
+            if (isLoad(inst.op)) {
+                // Conservative MSHR precheck: every transaction may
+                // allocate a new MSHR.
+                if (!l1.mshrAvailable(trans))
+                    return IssueOutcome::MemWait;
+            }
+        }
+        break;
+      }
+      case UnitKind::None:
+        break;
+    }
+
+    executeIssue(w, inst, widx, sched, now);
+    advanceWarp(widx, now);
+    return IssueOutcome::Issued;
+}
+
+void
+SmCore::executeIssue(WarpState &w, const Instruction &inst,
+                     std::uint16_t widx, unsigned sched, Cycle now)
+{
+    CtaSlot &cta = ctas[w.ctaSlot];
+    const KernelParams &params = *cta.params;
+
+    const unsigned live_lanes =
+        static_cast<unsigned>(std::popcount(w.activeMask));
+    ++smStats.warpInstsIssued;
+    smStats.threadInstsIssued += live_lanes;
+    ++smStats.kernelWarpInsts[w.kernel];
+    smStats.kernelThreadInsts[w.kernel] += live_lanes;
+    smStats.regReads +=
+        static_cast<std::uint64_t>(inst.numSrcs()) * live_lanes;
+    if (inst.dst >= 0)
+        smStats.regWrites += live_lanes;
+
+    const std::uint32_t dst_bit = regBit(inst.dst);
+    switch (unitOf(inst.op)) {
+      case UnitKind::Alu: {
+        aluBusyUntil[sched] = now + cfg.aluInitiation;
+        smStats.aluBusyCycles += cfg.aluInitiation;
+        if (dst_bit) {
+            w.pendingShort |= dst_bit;
+            wbWheel[(now + cfg.aluLatency) % wheelSize].push_back(
+                {widx, w.epoch, dst_bit});
+        }
+        break;
+      }
+      case UnitKind::Sfu: {
+        sfuBusyUntil = now + cfg.sfuInitiation;
+        smStats.sfuBusyCycles += cfg.sfuInitiation;
+        if (dst_bit) {
+            w.pendingShort |= dst_bit;
+            wbWheel[(now + cfg.sfuLatency) % wheelSize].push_back(
+                {widx, w.epoch, dst_bit});
+        }
+        break;
+      }
+      case UnitKind::Ldst: {
+        ++smStats.ldstIssues;
+        if (!isGlobalMem(inst.op)) {
+            // Shared-memory access: bank conflicts serialize the access
+            // into `conflict` replays, occupying the port and delaying
+            // the result proportionally.
+            const unsigned conflict =
+                std::max(1u, params.shmConflictFactor);
+            ldstBusyUntil = now + cfg.ldstInitiation * conflict;
+            ++smStats.shmAccesses;
+            if (dst_bit) {
+                w.pendingShort |= dst_bit;
+                wbWheel[(now + cfg.shmLatency * conflict) % wheelSize]
+                    .push_back({widx, w.epoch, dst_bit});
+            }
+            break;
+        }
+        const unsigned trans = params.mem.transactionsPerAccess;
+        ldstBusyUntil = now + cfg.ldstInitiation * trans;
+        if (isLoad(inst.op)) {
+            const std::uint16_t entry = allocLoadEntry();
+            loads[entry] = {widx, w.epoch, dst_bit,
+                            static_cast<std::uint16_t>(trans), true};
+            w.pendingLong |= dst_bit;
+            for (unsigned t = 0; t < trans; ++t) {
+                const Addr line = lineAddr(genAddress(
+                    params, cta.kernelBase, cta.ctaGlobalId, w.warpInCta,
+                    w.iter, inst.memSlot, t));
+                ++smStats.l1Accesses;
+                switch (l1.read(line, entry)) {
+                  case Cache::ReadResult::Hit:
+                    memWheel[(now + cfg.l1HitLatency) % wheelSize]
+                        .push_back(entry);
+                    break;
+                  case Cache::ReadResult::MissNew:
+                    ++smStats.l1Misses;
+                    outRequests.push_back(
+                        {line, false, smId, now + cfg.icntLatency});
+                    break;
+                  case Cache::ReadResult::MissMerged:
+                    ++smStats.l1Misses;
+                    break;
+                  case Cache::ReadResult::Blocked:
+                    panic("L1 MSHR blocked after precheck");
+                }
+            }
+        } else {
+            // Write-through, no-allocate stores; fire and forget.
+            for (unsigned t = 0; t < trans; ++t) {
+                const Addr line = lineAddr(genAddress(
+                    params, cta.kernelBase, cta.ctaGlobalId, w.warpInCta,
+                    w.iter, inst.memSlot, t));
+                ++smStats.l1Accesses;
+                if (!l1.write(line, false))
+                    ++smStats.l1Misses;
+                outRequests.push_back(
+                    {line, true, smId, now + cfg.icntLatency});
+            }
+        }
+        break;
+      }
+      case UnitKind::None: {
+        if (inst.op == Opcode::Bar) {
+            w.atBarrier = true;
+            ++cta.barrierWaiting;
+            maybeReleaseBarrier(cta);
+        } else if (inst.op == Opcode::BraDiv) {
+            // Split the active lanes: `taken` lanes skip ahead to the
+            // reconvergence point, the rest execute the fall-through
+            // block. Lane selection is deterministic per (warp, iter,
+            // pc) with an exact taken fraction.
+            const unsigned active = live_lanes;
+            const unsigned take = static_cast<unsigned>(
+                (static_cast<std::uint64_t>(active) *
+                     inst.divFraction256 + 128) / 256);
+            if (take >= active) {
+                // Everyone skips: jump straight to the target.
+                w.pc = static_cast<unsigned>(inst.branchTarget) - 1;
+            } else if (take > 0) {
+                const std::uint64_t h =
+                    mixHash(static_cast<std::uint64_t>(
+                                cta.ctaGlobalId) * 64 + w.warpInCta,
+                            w.iter * 131 + w.pc);
+                std::uint32_t taken = 0;
+                unsigned picked = 0;
+                const unsigned rot =
+                    static_cast<unsigned>(h & 31);
+                for (unsigned l = 0; l < 32 && picked < take; ++l) {
+                    const unsigned lane = (l + rot) & 31;
+                    if (w.activeMask & (1u << lane)) {
+                        taken |= 1u << lane;
+                        ++picked;
+                    }
+                }
+                w.divStack.emplace_back(
+                    taken,
+                    static_cast<std::uint16_t>(inst.branchTarget));
+                w.activeMask &= ~taken;
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+SmCore::runScheduler(unsigned sched, Cycle now)
+{
+    auto &list = schedLists[sched];
+    if (list.empty()) {
+        ++smStats.stalls[static_cast<unsigned>(StallKind::Idle)];
+        return;
+    }
+
+    unsigned counts[6] = {0, 0, 0, 0, 0, 0};
+    unsigned scanned = 0;
+    bool issued = false;
+
+    auto consider = [&](std::uint16_t widx) -> bool {
+        WarpState &w = warps[widx];
+        if (!w.active || w.finished)
+            return false;
+        const IssueOutcome outcome = tryIssue(widx, sched, now);
+        if (outcome == IssueOutcome::Issued) {
+            lastIssued[sched] = widx;
+            issued = true;
+            return true;
+        }
+        ++counts[static_cast<unsigned>(outcome)];
+        ++scanned;
+        return false;
+    };
+
+    if (schedKind == SchedulerKind::Gto) {
+        // Greedy-then-oldest: stick with the last issued warp, then
+        // fall back to the oldest ready warp.
+        const int greedy = lastIssued[sched];
+        if (greedy >= 0 && warps[greedy].active &&
+            !warps[greedy].finished &&
+            warps[greedy].kernel != invalidKernel) {
+            // Only if it is still on this scheduler's list.
+            if ((greedy % static_cast<int>(cfg.numSchedulers)) ==
+                static_cast<int>(sched)) {
+                if (consider(static_cast<std::uint16_t>(greedy)))
+                    return;
+            }
+        }
+        for (std::uint16_t widx : list) {
+            if (static_cast<int>(widx) == greedy)
+                continue;
+            if (consider(widx))
+                return;
+        }
+    } else {
+        // Loose round robin over the resident warps.
+        const unsigned n = static_cast<unsigned>(list.size());
+        unsigned start = rrPos[sched] % n;
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned pos = (start + i) % n;
+            if (consider(list[pos])) {
+                rrPos[sched] = pos + 1;
+                return;
+            }
+        }
+    }
+
+    if (issued)
+        return;
+
+    StallKind kind = StallKind::Idle;
+    if (scanned > 0) {
+        // Majority outcome, ties broken Mem > RAW > Exec > IBuffer >
+        // Barrier to match the paper's accounting priority.
+        static const IssueOutcome order[] = {
+            IssueOutcome::MemWait, IssueOutcome::ShortWait,
+            IssueOutcome::ExecBusy, IssueOutcome::Empty,
+            IssueOutcome::Barrier};
+        static const StallKind kinds[] = {
+            StallKind::MemLatency, StallKind::RawHazard,
+            StallKind::ExecResource, StallKind::IBufferEmpty,
+            StallKind::Barrier};
+        unsigned best = 0;
+        for (unsigned i = 0; i < 5; ++i) {
+            const unsigned c = counts[static_cast<unsigned>(order[i])];
+            if (c > counts[static_cast<unsigned>(order[best])])
+                best = i;
+        }
+        if (counts[static_cast<unsigned>(order[best])] > 0)
+            kind = kinds[best];
+    }
+    ++smStats.stalls[static_cast<unsigned>(kind)];
+}
+
+void
+SmCore::runFetch(Cycle now)
+{
+    // Start refills for queued warps, FIFO, up to fetchWidth per cycle.
+    unsigned started = 0;
+    std::size_t consumed = 0;
+    while (started < cfg.fetchWidth && consumed < fetchQueue.size()) {
+        const FetchEntry entry = fetchQueue[consumed++];
+        WarpState &w = warps[entry.warp];
+        if (!w.active || w.finished || w.epoch != entry.epoch ||
+            w.fetchPending || w.ibuf > 0) {
+            continue;  // stale entry
+        }
+        const KernelParams &params = *ctas[w.ctaSlot].params;
+        const bool miss = rng.chance(params.ifetchMissRate);
+        const Cycle lat =
+            miss ? cfg.ifetchMissLatency : cfg.fetchLatency;
+        w.fetchPending = true;
+        w.fetchReadyAt = now + lat;
+        fetchWheel[(now + lat) % wheelSize].push_back(
+            {entry.warp, entry.epoch});
+        ++smStats.ifetches;
+        if (miss)
+            ++smStats.ifetchMisses;
+        ++started;
+    }
+    if (consumed > 0)
+        fetchQueue.erase(fetchQueue.begin(),
+                         fetchQueue.begin() + consumed);
+}
+
+void
+SmCore::deliverResponse(const MemResponse &resp)
+{
+    respQueue.push_back(resp);
+}
+
+void
+SmCore::tick(Cycle now)
+{
+    ++smStats.cycles;
+    const ResourceVec &used = resourcePool.usedVec();
+    smStats.regsAllocatedIntegral += used.regs;
+    smStats.shmAllocatedIntegral += used.shm;
+    smStats.threadsAllocatedIntegral += used.threads;
+    // LDST utilization: the unit counts as busy while occupied by an
+    // access or backpressured by the memory system (queue buildup or
+    // substantial MSHR occupancy), matching GPGPU-Sim's accounting.
+    if (ldstBusyUntil > now || !outRequests.empty() ||
+        l1.mshrsInUse() >= 8) {
+        ++smStats.ldstBusyCycles;
+    }
+
+    // Writeback wheel: retire short-latency results.
+    auto &wb = wbWheel[now % wheelSize];
+    for (const WbEntry &e : wb) {
+        WarpState &w = warps[e.warp];
+        if (w.epoch == e.epoch)
+            w.pendingShort &= ~e.regMask;
+    }
+    wb.clear();
+
+    // Instruction-buffer refills completing this cycle.
+    auto &fetch_done = fetchWheel[now % wheelSize];
+    for (const FetchEntry &e : fetch_done) {
+        WarpState &w = warps[e.warp];
+        if (w.active && !w.finished && w.epoch == e.epoch &&
+            w.fetchPending && w.fetchReadyAt <= now) {
+            w.fetchPending = false;
+            w.ibuf = cfg.ibufferEntries;
+        }
+    }
+    fetch_done.clear();
+
+    // L1-hit load transactions maturing this cycle.
+    auto &mem_wb = memWheel[now % wheelSize];
+    for (std::uint16_t load_idx : mem_wb)
+        completeLoadTransaction(load_idx);
+    mem_wb.clear();
+
+    // Line fills arriving from the memory partitions.
+    for (std::size_t i = 0; i < respQueue.size();) {
+        if (respQueue[i].readyAt <= now) {
+            Cache::FillResult fill = l1.fill(respQueue[i].line);
+            for (std::uint64_t token : fill.tokens)
+                completeLoadTransaction(
+                    static_cast<std::uint16_t>(token));
+            respQueue[i] = respQueue.back();
+            respQueue.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    for (unsigned s = 0; s < cfg.numSchedulers; ++s)
+        runScheduler(s, now);
+    runFetch(now);
+}
+
+} // namespace wsl

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cycle-level streaming multiprocessor model: dual warp schedulers
+ * (GTO/LRR), per-warp scoreboard, i-buffer fetch stage, ALU/SFU/LDST
+ * pipelines, an L1 data cache with MSHRs, CTA slots, and a barrier unit.
+ * Multiple kernels may be resident simultaneously; per-kernel CTA quotas
+ * are enforced by the dispatcher using setQuota().
+ */
+
+#ifndef WSL_SM_SM_CORE_HH
+#define WSL_SM_SM_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/request.hh"
+#include "sm/resources.hh"
+#include "sm/warp.hh"
+
+namespace wsl {
+
+/**
+ * One SM. The core is self-contained: the GPU object launches CTAs into
+ * it, drains its outgoing memory requests, and delivers responses.
+ */
+class SmCore
+{
+  public:
+    SmCore(const GpuConfig &cfg, SmId id);
+
+    // ---- CTA / kernel management ----
+
+    /** True if the resource pool can hold one more CTA of `params`. */
+    bool canAcceptCta(const KernelParams &params) const;
+
+    /**
+     * Install a CTA. Returns false if resources or slots are exhausted.
+     * `kernel_base` is the kernel's global-memory allocation base.
+     */
+    bool launchCta(KernelId kid, const KernelParams &params,
+                   const KernelProgram &program, unsigned cta_global_id,
+                   Addr kernel_base, Cycle now);
+
+    /** Forcibly retire every CTA of a kernel and free its resources
+     *  (used when a kernel reaches its instruction target). */
+    void evictKernel(KernelId kid);
+
+    /** Resident CTAs of one kernel. */
+    unsigned residentCtas(KernelId kid) const;
+    /** Resident CTAs of all kernels. */
+    unsigned totalResidentCtas() const;
+
+    /** Per-kernel CTA quota; -1 means unlimited. */
+    void setQuota(KernelId kid, int max_ctas);
+    int quota(KernelId kid) const;
+    void clearQuotas();
+
+    // ---- Simulation ----
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** True if no live warps are resident. */
+    bool idle() const { return liveWarps == 0; }
+
+    // ---- Memory-system interface (driven by the GPU object) ----
+
+    /** Requests awaiting routing to memory partitions. */
+    std::vector<MemRequest> &outgoingRequests() { return outRequests; }
+
+    /** Deliver a line fill from a memory partition. */
+    void deliverResponse(const MemResponse &resp);
+
+    // ---- Events & observability ----
+
+    /** Kernel ids whose CTAs completed since the last drain. */
+    std::vector<KernelId> &completedCtaEvents() { return ctaCompletions; }
+
+    const SmStats &stats() const { return smStats; }
+    SmStats &mutableStats() { return smStats; }
+    const ResourcePool &pool() const { return resourcePool; }
+    const Cache &l1Cache() const { return l1; }
+    SmId id() const { return smId; }
+
+    /** Change the warp scheduler (Figure 10b sensitivity study). */
+    void setScheduler(SchedulerKind kind) { schedKind = kind; }
+
+  private:
+    /** Why a warp could not issue this cycle. */
+    enum class IssueOutcome
+    {
+        Issued,
+        Empty,      //!< i-buffer empty
+        Barrier,
+        MemWait,    //!< RAW on an outstanding global load
+        ShortWait,  //!< RAW on an ALU/SFU/shared-mem result
+        ExecBusy    //!< pipeline or memory-queue structural hazard
+    };
+
+    struct PendingLoad
+    {
+        std::uint16_t warp = 0;
+        std::uint32_t epoch = 0;
+        std::uint32_t regMask = 0;
+        std::uint16_t transLeft = 0;
+        bool valid = false;
+    };
+
+    struct WbEntry
+    {
+        std::uint16_t warp;
+        std::uint32_t epoch;
+        std::uint32_t regMask;
+    };
+
+    static constexpr unsigned wheelSize = 256;
+
+    void runFetch(Cycle now);
+    void runScheduler(unsigned sched, Cycle now);
+    IssueOutcome tryIssue(std::uint16_t widx, unsigned sched, Cycle now);
+    void executeIssue(WarpState &warp, const Instruction &inst,
+                      std::uint16_t widx, unsigned sched, Cycle now);
+    void advanceWarp(std::uint16_t widx, Cycle now);
+    void finishWarp(std::uint16_t widx);
+    void maybeReleaseBarrier(CtaSlot &cta);
+    void completeCta(int cta_idx);
+    void completeLoadTransaction(std::uint16_t load_idx);
+    std::uint16_t allocLoadEntry();
+    void removeFromSchedLists(const CtaSlot &cta);
+
+    const GpuConfig cfg;
+    const SmId smId;
+    SchedulerKind schedKind;
+    Rng rng;
+
+    ResourcePool resourcePool;
+    std::vector<WarpState> warps;
+    std::vector<CtaSlot> ctas;
+    std::vector<std::uint16_t> freeWarpSlots;
+    unsigned liveWarps = 0;
+    std::uint64_t ageCounter = 0;
+
+    // Per-kernel dispatch bookkeeping.
+    std::array<int, maxConcurrentKernels> quotas;
+    std::array<unsigned, maxConcurrentKernels> resident{};
+
+    // Schedulers.
+    std::vector<std::vector<std::uint16_t>> schedLists;  //!< age order
+    std::vector<int> lastIssued;   //!< GTO greedy warp per scheduler
+    std::vector<unsigned> rrPos;   //!< LRR rotation per scheduler
+
+    // Execution pipelines.
+    std::vector<Cycle> aluBusyUntil;  //!< one pipe per scheduler
+    Cycle sfuBusyUntil = 0;
+    Cycle ldstBusyUntil = 0;
+
+    struct FetchEntry
+    {
+        std::uint16_t warp;
+        std::uint32_t epoch;
+    };
+
+    // Writeback timing wheels.
+    std::array<std::vector<WbEntry>, wheelSize> wbWheel;
+    std::array<std::vector<std::uint16_t>, wheelSize> memWheel;
+    std::array<std::vector<FetchEntry>, wheelSize> fetchWheel;
+
+    // Memory.
+    Cache l1;
+    std::vector<PendingLoad> loads;
+    std::vector<std::uint16_t> freeLoads;
+    std::vector<MemRequest> outRequests;
+    std::vector<MemResponse> respQueue;
+
+    // Front end: warps whose i-buffer drained and need a refill.
+    std::vector<FetchEntry> fetchQueue;
+
+    std::vector<KernelId> ctaCompletions;
+    SmStats smStats;
+};
+
+} // namespace wsl
+
+#endif // WSL_SM_SM_CORE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-warp and per-CTA execution state resident in an SM.
+ */
+
+#ifndef WSL_SM_WARP_HH
+#define WSL_SM_WARP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sm/resources.hh"
+#include "workloads/kernel_params.hh"
+
+namespace wsl {
+
+/**
+ * Architectural + microarchitectural state of one resident warp. Warps
+ * occupy fixed slots; `epoch` invalidates in-flight writebacks when a
+ * slot is recycled.
+ */
+struct WarpState
+{
+    bool active = false;    //!< slot holds a live warp
+    bool finished = false;  //!< warp ran to completion (slot not yet freed)
+    std::uint32_t epoch = 0;
+
+    int ctaSlot = -1;
+    KernelId kernel = invalidKernel;
+    unsigned warpInCta = 0;
+    unsigned activeThreads = warpSize;
+
+    // Program position.
+    const KernelProgram *program = nullptr;
+    unsigned pc = 0;    //!< index into program body
+    unsigned iter = 0;  //!< completed loop iterations
+
+    // Front end.
+    unsigned ibuf = 0;         //!< decoded instructions buffered
+    bool fetchPending = false;
+    Cycle fetchReadyAt = 0;
+
+    // Synchronization.
+    bool atBarrier = false;
+
+    // SIMT divergence: currently active lanes and the reconvergence
+    // stack of (suspended-lane mask, rejoin pc) entries.
+    std::uint32_t activeMask = 0xffffffffu;
+    std::vector<std::pair<std::uint32_t, std::uint16_t>> divStack;
+
+    // Scoreboard: registers with in-flight writes. "Long" = global
+    // loads (drives the Long Memory Latency stall class), "short" =
+    // ALU/SFU/shared-memory results.
+    std::uint32_t pendingShort = 0;
+    std::uint32_t pendingLong = 0;
+
+    std::uint64_t age = 0;  //!< global launch order (GTO oldest-first)
+
+    bool
+    issuable() const
+    {
+        return active && !finished && !atBarrier && ibuf > 0;
+    }
+};
+
+/** State of one CTA slot in an SM. */
+struct CtaSlot
+{
+    bool active = false;
+    KernelId kernel = invalidKernel;
+    unsigned ctaGlobalId = 0;
+    unsigned warpsTotal = 0;
+    unsigned warpsFinished = 0;
+    unsigned barrierWaiting = 0;
+    ResourceVec alloc;
+    Addr kernelBase = 0;  //!< base of the kernel's global allocation
+    const KernelParams *params = nullptr;
+    std::vector<std::uint16_t> warpIdxs;
+};
+
+} // namespace wsl
+
+#endif // WSL_SM_WARP_HH

@@ -1,0 +1,81 @@
+#include "trace/tracer.hh"
+
+namespace wsl {
+
+const char *
+traceEventName(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::CtaLaunch:    return "cta_launch";
+      case TraceEvent::CtaComplete:  return "cta_complete";
+      case TraceEvent::KernelLaunch: return "kernel_launch";
+      case TraceEvent::KernelFinish: return "kernel_finish";
+      case TraceEvent::ProfileStart: return "profile_start";
+      case TraceEvent::Decision:     return "decision";
+      case TraceEvent::Reprofile:    return "reprofile";
+      default:                       return "unknown";
+    }
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable(std::size_t capacity)
+{
+    active = capacity > 0;
+    cap = capacity;
+    ring.clear();
+    total = 0;
+}
+
+void
+Tracer::disable()
+{
+    active = false;
+    ring.clear();
+    cap = 0;
+    total = 0;
+}
+
+std::vector<TraceRecord>
+Tracer::ofKind(TraceEvent event) const
+{
+    std::vector<TraceRecord> out;
+    for (const TraceRecord &r : ring)
+        if (r.event == event)
+            out.push_back(r);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    ring.clear();
+    total = 0;
+}
+
+void
+Tracer::dump(std::ostream &os) const
+{
+    for (const TraceRecord &r : ring) {
+        os << r.cycle << " " << traceEventName(r.event) << " kernel="
+           << r.kernel << " a=" << r.a << " b=" << r.b << "\n";
+    }
+}
+
+std::uint32_t
+packQuotas(const std::vector<int> &ctas)
+{
+    std::uint32_t packed = 0;
+    for (std::size_t i = 0; i < ctas.size() && i < 4; ++i)
+        packed |= (static_cast<std::uint32_t>(ctas[i]) & 0xff)
+                  << (8 * i);
+    return packed;
+}
+
+} // namespace wsl

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The ten benchmark kernel models from paper Table II, plus the pairing
+ * helpers used by the evaluation (Figure 6 categories, Figure 8 triples).
+ */
+
+#ifndef WSL_WORKLOADS_BENCHMARKS_HH
+#define WSL_WORKLOADS_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/kernel_params.hh"
+
+namespace wsl {
+
+/** All ten Table II benchmarks in table order. */
+const std::vector<KernelParams> &allBenchmarks();
+
+/** Look up a benchmark by its Table II abbreviation (e.g. "BLK"). */
+const KernelParams &benchmark(const std::string &name);
+
+/** Benchmarks of one application class. */
+std::vector<KernelParams> benchmarksOfClass(AppClass cls);
+
+/** An ordered pair of co-scheduled benchmarks. */
+struct WorkloadPair
+{
+    std::string first;
+    std::string second;
+    std::string category;  //!< "Compute+Cache" etc., for reporting
+};
+
+/**
+ * The 30 evaluation pairs of Section V-A: all Compute x Cache,
+ * Compute x Memory, and Compute x Compute combinations.
+ */
+std::vector<WorkloadPair> evaluationPairs();
+
+/**
+ * The 15 Figure 8 triples: each memory/cache application combined with
+ * two compute applications (BFS and HOT excluded for CTA size).
+ */
+std::vector<std::vector<std::string>> evaluationTriples();
+
+} // namespace wsl
+
+#endif // WSL_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Parameterized kernel models. The paper's benchmarks (CUDA SDK, Rodinia,
+ * Parboil, ISPASS binaries run through GPGPU-Sim's PTX front end) are
+ * reproduced here as synthetic kernels whose structural parameters are
+ * calibrated to each benchmark's Table II signature and Figure 3a
+ * performance-vs-occupancy class. See DESIGN.md "Substitutions".
+ */
+
+#ifndef WSL_WORKLOADS_KERNEL_PARAMS_HH
+#define WSL_WORKLOADS_KERNEL_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace wsl {
+
+/** Global-memory access pattern of a kernel. */
+enum class MemPattern : std::uint8_t
+{
+    Stream,   //!< sequential, coalesced, no reuse (BLK, LBM)
+    Tile,     //!< wraps within a per-CTA footprint; cache-resident reuse
+    Scatter   //!< pseudo-random within a large footprint; uncoalesced
+};
+
+/** Global-memory behavior knobs. */
+struct MemBehavior
+{
+    MemPattern pattern = MemPattern::Stream;
+    /** Reuse footprint per CTA (Tile) or total region (Scatter), bytes. */
+    std::uint64_t footprintPerCta = std::uint64_t{1} << 20;
+    /** Memory transactions (128 B lines) per warp access; 1 = coalesced. */
+    unsigned transactionsPerAccess = 1;
+    /**
+     * Tile pattern only: consecutive accesses dwell on the same line
+     * this many times before moving on (intra-line temporal locality).
+     * Dwell > 1 guarantees short-distance reuse that survives cache
+     * pressure from co-resident kernels; dwell = 1 gives pure
+     * capacity-driven behavior (the L1-cache-sensitive benchmarks).
+     */
+    unsigned reuseDwell = 1;
+};
+
+/** Static instruction mix of one loop-body iteration. */
+struct InstrMix
+{
+    unsigned alu = 8;
+    unsigned sfu = 0;
+    unsigned ldGlobal = 1;
+    unsigned stGlobal = 0;
+    unsigned ldShared = 0;
+    unsigned stShared = 0;
+    /** RAW distance: a consumer reads the value produced this many
+     *  dynamic instructions earlier. Small => serial chains. */
+    unsigned depDist = 4;
+    /** End every iteration with a CTA-wide barrier (e.g., HOT). */
+    bool barrierPerIter = false;
+    /** Divergent branches per iteration (irregular kernels). */
+    unsigned divBranches = 0;
+    /** Fall-through block length a taken lane skips. */
+    unsigned divPathLen = 8;
+    /** Fraction of lanes taking each divergent branch. */
+    double divFraction = 0.3;
+
+    unsigned
+    total() const
+    {
+        return alu + sfu + ldGlobal + stGlobal + ldShared + stShared +
+               divBranches + (barrierPerIter ? 1 : 0);
+    }
+};
+
+/** Application class from Table II's "Type" column. */
+enum class AppClass : std::uint8_t { Compute, Memory, Cache };
+
+const char *appClassName(AppClass cls);
+
+/**
+ * Complete description of one benchmark kernel. maxCtasPerSm() applies the
+ * four launch limits (threads, registers, shared memory, CTA slots) the
+ * paper discusses in Section II-C.
+ */
+struct KernelParams
+{
+    std::string name;
+    unsigned gridDim = 1;        //!< total CTAs in the grid
+    unsigned blockDim = 128;     //!< threads per CTA
+    unsigned regsPerThread = 16;
+    unsigned shmPerCta = 0;      //!< bytes of shared memory per CTA
+    InstrMix mix;
+    unsigned loopIters = 256;
+    MemBehavior mem;
+    AppClass cls = AppClass::Compute;
+    /** Probability an i-buffer refill misses the i-cache (DXT is
+     *  fetch-limited in Figure 1). */
+    double ifetchMissRate = 0.01;
+    /**
+     * Average shared-memory bank-conflict degree: a shared-memory
+     * access occupies the LDST port and delays its result by this
+     * factor (1 = conflict free). Stencil/tiled kernels (HOT, MM, DXT)
+     * conflict heavily, which is what keeps their ALU utilization at
+     * the 40-60% Table II reports instead of pipe saturation.
+     */
+    unsigned shmConflictFactor = 1;
+
+    /** Warps per CTA (blockDim rounded up to warp granularity). */
+    unsigned
+    warpsPerCta() const
+    {
+        return (blockDim + warpSize - 1) / warpSize;
+    }
+
+    unsigned regsPerCta() const { return regsPerThread * blockDim; }
+
+    /** Max resident CTAs per SM under cfg (min over all four limits). */
+    unsigned maxCtasPerSm(const GpuConfig &cfg) const;
+};
+
+/**
+ * Deterministically build the executable loop body for a kernel from its
+ * instruction mix (see workloads/generator.cc for the layout rules).
+ */
+KernelProgram buildProgram(const KernelParams &params);
+
+/**
+ * Generate the target address of one global-memory transaction.
+ *
+ * @param params     kernel whose pattern to apply
+ * @param base       base address of the kernel's allocation
+ * @param cta_global CTA id within the grid
+ * @param warp_in_cta warp index within the CTA
+ * @param iter       loop iteration of the executing warp
+ * @param slot       memory slot id of the instruction within the body
+ * @param trans      transaction index within the warp access
+ */
+Addr genAddress(const KernelParams &params, Addr base, unsigned cta_global,
+                unsigned warp_in_cta, unsigned iter, unsigned slot,
+                unsigned trans);
+
+} // namespace wsl
+
+#endif // WSL_WORKLOADS_KERNEL_PARAMS_HH

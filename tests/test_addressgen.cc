@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property tests for the per-pattern global-memory address generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/request.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+KernelParams
+patternKernel(MemPattern pattern, std::uint64_t footprint,
+              unsigned trans)
+{
+    KernelParams k;
+    k.name = "PAT";
+    k.blockDim = 128;
+    k.mix = {.alu = 4, .sfu = 0, .ldGlobal = 2, .stGlobal = 0,
+             .ldShared = 0, .stShared = 0, .depDist = 2,
+             .barrierPerIter = false};
+    k.mem = {pattern, footprint, trans};
+    return k;
+}
+
+constexpr Addr base = Addr{1} << 36;
+
+} // namespace
+
+TEST(AddressGen, Deterministic)
+{
+    const KernelParams k = patternKernel(MemPattern::Scatter, 1 << 20, 4);
+    for (unsigned t = 0; t < 4; ++t) {
+        EXPECT_EQ(genAddress(k, base, 3, 1, 7, 0, t),
+                  genAddress(k, base, 3, 1, 7, 0, t));
+    }
+}
+
+TEST(AddressGen, TileStaysWithinCtaFootprint)
+{
+    const std::uint64_t fp = 4096;
+    const KernelParams k = patternKernel(MemPattern::Tile, fp, 1);
+    for (unsigned cta = 0; cta < 8; ++cta) {
+        for (unsigned iter = 0; iter < 200; ++iter) {
+            for (unsigned slot = 0; slot < 2; ++slot) {
+                const Addr a = genAddress(k, base, cta, 0, iter, slot, 0);
+                const Addr lo = base + (cta % 2048) * fp;
+                EXPECT_GE(a, lo);
+                EXPECT_LT(a, lo + fp);
+            }
+        }
+    }
+}
+
+TEST(AddressGen, TileReusesLines)
+{
+    // Within one CTA, the walk must revisit lines (cache reuse), and
+    // the distinct-line count must cover most of the footprint.
+    const std::uint64_t fp = 2048;  // 16 lines
+    const KernelParams k = patternKernel(MemPattern::Tile, fp, 1);
+    std::set<Addr> lines;
+    for (unsigned iter = 0; iter < 100; ++iter)
+        for (unsigned slot = 0; slot < 2; ++slot)
+            lines.insert(lineAddr(genAddress(k, base, 0, 0, iter, slot,
+                                             0)));
+    EXPECT_LE(lines.size(), fp / lineSize);
+    EXPECT_GE(lines.size(), fp / lineSize / 2);
+}
+
+TEST(AddressGen, ScatterStaysWithinFootprint)
+{
+    const std::uint64_t fp = std::uint64_t{8} << 20;
+    const KernelParams k = patternKernel(MemPattern::Scatter, fp, 4);
+    for (unsigned iter = 0; iter < 100; ++iter) {
+        for (unsigned t = 0; t < 4; ++t) {
+            const Addr a = genAddress(k, base, 5, 2, iter, 1, t);
+            EXPECT_GE(a, base);
+            EXPECT_LT(a, base + fp);
+            EXPECT_EQ(a % lineSize, 0u);  // scatter is line aligned
+        }
+    }
+}
+
+TEST(AddressGen, ScatterTransactionsHitDistinctLines)
+{
+    // Uncoalesced semantics: the transactions of one access should
+    // (almost always) touch different lines.
+    const KernelParams k =
+        patternKernel(MemPattern::Scatter, std::uint64_t{32} << 20, 8);
+    unsigned collisions = 0;
+    for (unsigned iter = 0; iter < 100; ++iter) {
+        std::set<Addr> lines;
+        for (unsigned t = 0; t < 8; ++t)
+            lines.insert(lineAddr(genAddress(k, base, 1, 0, iter, 0, t)));
+        collisions += 8 - static_cast<unsigned>(lines.size());
+    }
+    EXPECT_LT(collisions, 8u);
+}
+
+TEST(AddressGen, StreamNeverReuses)
+{
+    // Streaming has no temporal reuse: every (iteration, slot) of one
+    // warp maps to a fresh line.
+    const KernelParams k = patternKernel(MemPattern::Stream, 0, 1);
+    std::set<Addr> lines;
+    unsigned count = 0;
+    for (unsigned iter = 0; iter < 500; ++iter) {
+        for (unsigned slot = 0; slot < 2; ++slot) {
+            lines.insert(lineAddr(genAddress(k, base, 0, 0, iter, slot,
+                                             0)));
+            ++count;
+        }
+    }
+    EXPECT_EQ(lines.size(), count);
+}
+
+TEST(AddressGen, StreamWarpsInterleaveDensely)
+{
+    // At the same access index, warps w and w+1 touch adjacent lines —
+    // the property that gives DRAM row locality.
+    const KernelParams k = patternKernel(MemPattern::Stream, 0, 1);
+    const Addr a0 = genAddress(k, base, 0, 0, 0, 0, 0);
+    const Addr a1 = genAddress(k, base, 0, 1, 0, 0, 0);
+    EXPECT_EQ(a1 - a0, static_cast<Addr>(lineSize));
+}
+
+TEST(AddressGen, DistinctKernelsDoNotAlias)
+{
+    const KernelParams k = patternKernel(MemPattern::Stream, 0, 1);
+    const Addr base2 = Addr{2} << 36;
+    const Addr a = genAddress(k, base, 0, 0, 0, 0, 0);
+    const Addr b = genAddress(k, base2, 0, 0, 0, 0, 0);
+    EXPECT_NE(lineAddr(a), lineAddr(b));
+}
+
+TEST(PartitionMap, InterleavesConsecutiveLines)
+{
+    const unsigned parts = 6;
+    for (Addr line = 0; line < 100 * lineSize; line += lineSize) {
+        const unsigned p = partitionOf(line, parts);
+        EXPECT_LT(p, parts);
+        EXPECT_EQ(partitionOf(line + lineSize, parts),
+                  (p + 1) % parts);
+    }
+}
+
+TEST(PartitionMap, BalancedOverStreamingRegion)
+{
+    unsigned counts[6] = {0};
+    for (Addr line = 0; line < 6000 * lineSize; line += lineSize)
+        ++counts[partitionOf(line, 6)];
+    for (unsigned c : counts)
+        EXPECT_EQ(c, 1000u);
+}
+
+TEST(AddressGen, StreamCtaChunksAreDisjointAndDense)
+{
+    // Each CTA owns a contiguous chunk sized exactly to its dynamic
+    // accesses; chunks of consecutive CTAs abut without overlap.
+    KernelParams k = patternKernel(MemPattern::Stream, 0, 1);
+    k.loopIters = 5;
+    const unsigned warps = k.warpsPerCta();
+    const unsigned slots = k.mix.ldGlobal + k.mix.stGlobal;
+    const std::uint64_t chunk_bytes =
+        static_cast<std::uint64_t>(warps) * k.loopIters * slots *
+        lineSize;
+    std::set<Addr> lines;
+    for (unsigned cta = 0; cta < 3; ++cta) {
+        Addr lo = ~Addr{0}, hi = 0;
+        for (unsigned w = 0; w < warps; ++w) {
+            for (unsigned iter = 0; iter < k.loopIters; ++iter) {
+                for (unsigned slot = 0; slot < slots; ++slot) {
+                    const Addr a =
+                        genAddress(k, base, cta, w, iter, slot, 0);
+                    EXPECT_TRUE(lines.insert(lineAddr(a)).second)
+                        << "duplicate line";
+                    lo = std::min(lo, a);
+                    hi = std::max(hi, a);
+                }
+            }
+        }
+        EXPECT_EQ(lo, base + cta * chunk_bytes);
+        EXPECT_EQ(hi, base + (cta + 1) * chunk_bytes - lineSize);
+    }
+    // Fully dense: every line of every chunk touched exactly once.
+    EXPECT_EQ(lines.size(), 3 * chunk_bytes / lineSize);
+}
+
+TEST(AddressGen, StreamWarpsOfOneCtaInterleaveByLine)
+{
+    KernelParams k = patternKernel(MemPattern::Stream, 0, 1);
+    const Addr w0 = genAddress(k, base, 0, 0, 0, 0, 0);
+    const Addr w1 = genAddress(k, base, 0, 1, 0, 0, 0);
+    const Addr w0_next = genAddress(k, base, 0, 0, 0, 1, 0);
+    EXPECT_EQ(w1 - w0, static_cast<Addr>(lineSize));
+    // The same warp's next access skips past its siblings.
+    EXPECT_EQ(w0_next - w0,
+              static_cast<Addr>(lineSize) * k.warpsPerCta());
+}
+
+TEST(AddressGen, TileDwellRepeatsLines)
+{
+    KernelParams k = patternKernel(MemPattern::Tile, 4096, 1);
+    k.mem.reuseDwell = 4;
+    // Four consecutive accesses (same warp) hit one line, then move.
+    std::set<Addr> first4, next4;
+    const unsigned slots = 2;
+    for (unsigned idx = 0; idx < 8; ++idx) {
+        const unsigned iter = idx / slots, slot = idx % slots;
+        const Addr line =
+            lineAddr(genAddress(k, base, 0, 0, iter, slot, 0));
+        (idx < 4 ? first4 : next4).insert(line);
+    }
+    EXPECT_EQ(first4.size(), 1u);
+    EXPECT_EQ(next4.size(), 1u);
+    EXPECT_NE(*first4.begin(), *next4.begin());
+}

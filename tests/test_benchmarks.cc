@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the benchmark registry: Table II static columns (grid and
+ * block dimensions, register and shared-memory demand) and the
+ * evaluation pairings of Section V.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sm/resources.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+TEST(Benchmarks, TenBenchmarksInTableOrder)
+{
+    const auto &all = allBenchmarks();
+    ASSERT_EQ(all.size(), 10u);
+    const char *order[] = {"BLK", "BFS", "DXT", "HOT", "IMG",
+                           "KNN", "LBM", "MM",  "MVP", "NN"};
+    for (unsigned i = 0; i < 10; ++i)
+        EXPECT_EQ(all[i].name, order[i]);
+}
+
+TEST(Benchmarks, LookupByName)
+{
+    EXPECT_EQ(benchmark("LBM").name, "LBM");
+    EXPECT_EQ(benchmark("NN").blockDim, 169u);
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(benchmark("NOPE"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Benchmarks, ClassPartition)
+{
+    EXPECT_EQ(benchmarksOfClass(AppClass::Compute).size(), 4u);
+    EXPECT_EQ(benchmarksOfClass(AppClass::Memory).size(), 4u);
+    EXPECT_EQ(benchmarksOfClass(AppClass::Cache).size(), 2u);
+}
+
+struct TableIIRow
+{
+    const char *name;
+    unsigned griddim;
+    unsigned blkdim;
+    double regPct;  // paper's Reg column
+    double shmPct;  // paper's Shm column
+};
+
+class TableIIStatic : public ::testing::TestWithParam<TableIIRow>
+{
+};
+
+TEST_P(TableIIStatic, GridAndBlockDimsMatchPaper)
+{
+    const TableIIRow &row = GetParam();
+    const KernelParams &k = benchmark(row.name);
+    EXPECT_EQ(k.gridDim, row.griddim);
+    EXPECT_EQ(k.blockDim, row.blkdim);
+}
+
+TEST_P(TableIIStatic, StaticAllocationMatchesPaperWithin5Points)
+{
+    // Reg% = regs/CTA * maxCTAs / 32768 at full solo occupancy; same
+    // for shared memory. These are design-time properties of the
+    // calibrated models.
+    const TableIIRow &row = GetParam();
+    const GpuConfig cfg = GpuConfig::baseline();
+    const KernelParams &k = benchmark(row.name);
+    const unsigned max_ctas = k.maxCtasPerSm(cfg);
+    const double reg_pct =
+        100.0 * k.regsPerCta() * max_ctas / cfg.numRegsPerSm;
+    const double shm_pct =
+        100.0 * k.shmPerCta * max_ctas / cfg.sharedMemPerSm;
+    EXPECT_NEAR(reg_pct, row.regPct, 5.0) << row.name;
+    EXPECT_NEAR(shm_pct, row.shmPct, 5.0) << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIIStatic,
+    ::testing::Values(TableIIRow{"BLK", 480, 128, 95, 0},
+                      TableIIRow{"BFS", 1954, 512, 71, 0},
+                      TableIIRow{"DXT", 10752, 64, 56, 33},
+                      TableIIRow{"HOT", 7396, 256, 84, 19},
+                      TableIIRow{"IMG", 2040, 64, 43, 0},
+                      TableIIRow{"KNN", 2673, 256, 37, 0},
+                      TableIIRow{"LBM", 18000, 120, 98, 0},
+                      TableIIRow{"MM", 528, 128, 86, 5},
+                      TableIIRow{"MVP", 765, 192, 74, 0},
+                      TableIIRow{"NN", 54000, 169, 94, 0}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(EvaluationPairs, ThirtyPairsInThreeCategories)
+{
+    const auto pairs = evaluationPairs();
+    ASSERT_EQ(pairs.size(), 30u);
+    unsigned cc = 0, cm = 0, c2 = 0;
+    for (const auto &p : pairs) {
+        if (p.category == "Compute+Cache")
+            ++cc;
+        else if (p.category == "Compute+Memory")
+            ++cm;
+        else if (p.category == "Compute+Compute")
+            ++c2;
+    }
+    EXPECT_EQ(cc, 8u);
+    EXPECT_EQ(cm, 16u);
+    EXPECT_EQ(c2, 6u);
+}
+
+TEST(EvaluationPairs, FirstAppIsComputeAndPairsAreUnique)
+{
+    std::set<std::string> seen;
+    for (const auto &p : evaluationPairs()) {
+        EXPECT_EQ(benchmark(p.first).cls, AppClass::Compute);
+        EXPECT_TRUE(seen.insert(p.first + "_" + p.second).second);
+    }
+}
+
+TEST(EvaluationPairs, CategoriesMatchMemberClasses)
+{
+    for (const auto &p : evaluationPairs()) {
+        const AppClass second = benchmark(p.second).cls;
+        if (p.category == "Compute+Cache")
+            EXPECT_EQ(second, AppClass::Cache);
+        else if (p.category == "Compute+Memory")
+            EXPECT_EQ(second, AppClass::Memory);
+        else
+            EXPECT_EQ(second, AppClass::Compute);
+    }
+}
+
+TEST(EvaluationTriples, FifteenTriplesExcludingBfsAndHot)
+{
+    const auto triples = evaluationTriples();
+    ASSERT_EQ(triples.size(), 15u);
+    for (const auto &t : triples) {
+        ASSERT_EQ(t.size(), 3u);
+        for (const auto &name : t) {
+            EXPECT_NE(name, "BFS");
+            EXPECT_NE(name, "HOT");
+        }
+        // Two compute apps + one memory/cache app.
+        unsigned compute = 0;
+        for (const auto &name : t)
+            compute += benchmark(name).cls == AppClass::Compute;
+        EXPECT_EQ(compute, 2u);
+    }
+}
+
+TEST(EvaluationTriples, ThreeKernelsFitAnSm)
+{
+    // Each triple must admit at least one CTA per kernel on one SM
+    // (the premise of Figure 8).
+    const GpuConfig cfg = GpuConfig::baseline();
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    for (const auto &t : evaluationTriples()) {
+        ResourceVec need;
+        for (const auto &name : t)
+            need = need + ResourceVec::ofCta(benchmark(name));
+        EXPECT_TRUE(need.fitsIn(cap));
+    }
+}
+
+TEST(Benchmarks, WorkExceedsCharacterizationNeeds)
+{
+    // Every grid must hold enough dynamic work that a default-window
+    // characterization target cannot exhaust it (otherwise co-runs
+    // would drain the grid and idle).
+    const GpuConfig cfg = GpuConfig::baseline();
+    for (const KernelParams &k : allBenchmarks()) {
+        const KernelProgram prog = buildProgram(k);
+        const double total_warp_insts =
+            static_cast<double>(k.gridDim) * k.warpsPerCta() *
+            prog.dynamicLength();
+        // Upper bound on achievable issue in a 50 K window: 2 IPC per
+        // SM-scheduler is the hardware ceiling.
+        const double max_issue = 50000.0 * cfg.numSms * 2.0 * 0.5;
+        EXPECT_GT(total_warp_insts, max_issue * 0.6) << k.name;
+    }
+}

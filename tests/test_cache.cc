@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache + MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace wsl;
+
+namespace {
+
+Addr
+line(unsigned n)
+{
+    return static_cast<Addr>(n) * lineSize;
+}
+
+CacheParams
+smallCache()
+{
+    // 4 sets x 2 ways x 128 B = 1 KB.
+    return CacheParams{1024, 2, 4, 8};
+}
+
+} // namespace
+
+TEST(Cache, ColdReadMisses)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.read(line(0), 1), Cache::ReadResult::MissNew);
+    EXPECT_EQ(c.accesses, 1u);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, FillThenHit)
+{
+    Cache c(smallCache());
+    c.read(line(0), 1);
+    c.fill(line(0));
+    EXPECT_EQ(c.read(line(0), 2), Cache::ReadResult::Hit);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, MissMergesIntoMshr)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.read(line(0), 1), Cache::ReadResult::MissNew);
+    EXPECT_EQ(c.read(line(0), 2), Cache::ReadResult::MissMerged);
+    EXPECT_EQ(c.read(line(0), 3), Cache::ReadResult::MissMerged);
+    const Cache::FillResult fill = c.fill(line(0));
+    ASSERT_EQ(fill.tokens.size(), 3u);
+    EXPECT_EQ(fill.tokens[0], 1u);
+    EXPECT_EQ(fill.tokens[1], 2u);
+    EXPECT_EQ(fill.tokens[2], 3u);
+}
+
+TEST(Cache, MshrCapacityBlocks)
+{
+    Cache c(smallCache());  // 4 MSHRs
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(c.read(line(100 + i), i), Cache::ReadResult::MissNew);
+    EXPECT_FALSE(c.mshrAvailable());
+    EXPECT_EQ(c.read(line(200), 9), Cache::ReadResult::Blocked);
+    // A fill frees the MSHR.
+    c.fill(line(100));
+    EXPECT_TRUE(c.mshrAvailable());
+    EXPECT_EQ(c.read(line(200), 9), Cache::ReadResult::MissNew);
+}
+
+TEST(Cache, MshrTargetCapacityBlocks)
+{
+    Cache c(smallCache());  // 8 targets per MSHR
+    EXPECT_EQ(c.read(line(0), 0), Cache::ReadResult::MissNew);
+    for (unsigned i = 1; i < 8; ++i)
+        EXPECT_EQ(c.read(line(0), i), Cache::ReadResult::MissMerged);
+    EXPECT_EQ(c.read(line(0), 8), Cache::ReadResult::Blocked);
+}
+
+TEST(Cache, MshrHitQuery)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.mshrHit(line(0)));
+    c.read(line(0), 1);
+    EXPECT_TRUE(c.mshrHit(line(0)));
+    c.fill(line(0));
+    EXPECT_FALSE(c.mshrHit(line(0)));
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());  // 2 ways
+    // Lines 0, 4, 8 map to set 0 (4 sets).
+    c.read(line(0), 0);
+    c.fill(line(0));
+    c.read(line(4), 0);
+    c.fill(line(4));
+    // Touch line 0 so line 4 is LRU.
+    EXPECT_EQ(c.read(line(0), 0), Cache::ReadResult::Hit);
+    c.read(line(8), 0);
+    c.fill(line(8));  // evicts line 4
+    EXPECT_TRUE(c.probe(line(0)));
+    EXPECT_FALSE(c.probe(line(4)));
+    EXPECT_TRUE(c.probe(line(8)));
+}
+
+TEST(Cache, WriteNoAllocate)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.write(line(0), true));
+    EXPECT_FALSE(c.probe(line(0)));
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirtyAndEvictionReportsIt)
+{
+    Cache c(smallCache());
+    c.read(line(0), 0);
+    c.fill(line(0));
+    EXPECT_TRUE(c.write(line(0), true));
+    // Evict line 0 from set 0 by filling lines 4 and 8.
+    c.fill(line(4));
+    const Cache::FillResult fill = c.fill(line(8));
+    EXPECT_TRUE(fill.evictedDirty);
+    EXPECT_EQ(fill.evictedLine, line(0));
+}
+
+TEST(Cache, CleanEvictionIsSilent)
+{
+    Cache c(smallCache());
+    c.fill(line(0));
+    c.fill(line(4));
+    const Cache::FillResult fill = c.fill(line(8));
+    EXPECT_FALSE(fill.evictedDirty);
+}
+
+TEST(Cache, WriteWithoutDirtyFlag)
+{
+    // L1 uses write-through: hits must not mark dirty.
+    Cache c(smallCache());
+    c.fill(line(0));
+    EXPECT_TRUE(c.write(line(0), false));
+    c.fill(line(4));
+    const Cache::FillResult fill = c.fill(line(8));
+    EXPECT_FALSE(fill.evictedDirty);
+}
+
+TEST(Cache, FillOfPresentLineKeepsState)
+{
+    Cache c(smallCache());
+    c.fill(line(0));
+    c.write(line(0), true);
+    const Cache::FillResult again = c.fill(line(0));
+    EXPECT_TRUE(again.tokens.empty());
+    EXPECT_TRUE(c.probe(line(0)));
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c(smallCache());
+    c.fill(line(0));
+    c.fill(line(4));
+    // Probing line 0 must not refresh it.
+    EXPECT_TRUE(c.probe(line(0)));
+    c.fill(line(8));  // LRU is line 0
+    EXPECT_FALSE(c.probe(line(0)));
+    EXPECT_TRUE(c.probe(line(4)));
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.fill(line(0));
+    c.read(line(4), 7);
+    c.reset();
+    EXPECT_FALSE(c.probe(line(0)));
+    EXPECT_FALSE(c.mshrHit(line(4)));
+    EXPECT_EQ(c.mshrsInUse(), 0u);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Cache(CacheParams{64, 4, 1, 1}), "small");
+}
+
+// ---- Parameterized geometry sweep ----
+
+struct Geometry
+{
+    unsigned size;
+    unsigned assoc;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometry, CapacityHoldsExactlySizeLines)
+{
+    const Geometry g = GetParam();
+    Cache c(CacheParams{g.size, g.assoc, 8, 8});
+    const unsigned lines = g.size / lineSize;
+    for (unsigned i = 0; i < lines; ++i)
+        c.fill(line(i));
+    for (unsigned i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.probe(line(i))) << "line " << i;
+    // One more line must evict something.
+    c.fill(line(lines));
+    unsigned present = 0;
+    for (unsigned i = 0; i <= lines; ++i)
+        present += c.probe(line(i));
+    EXPECT_EQ(present, lines);
+}
+
+TEST_P(CacheGeometry, SetMappingIsStable)
+{
+    const Geometry g = GetParam();
+    Cache c(CacheParams{g.size, g.assoc, 8, 8});
+    EXPECT_EQ(c.numSets(), g.size / (g.assoc * lineSize));
+    // Lines that differ by numSets*lineSize collide in one set: filling
+    // assoc+1 of them must evict exactly one.
+    const unsigned stride = c.numSets();
+    for (unsigned i = 0; i <= g.assoc; ++i)
+        c.fill(line(i * stride));
+    unsigned present = 0;
+    for (unsigned i = 0; i <= g.assoc; ++i)
+        present += c.probe(line(i * stride));
+    EXPECT_EQ(present, g.assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheGeometry,
+    ::testing::Values(Geometry{1024, 2}, Geometry{2048, 4},
+                      Geometry{16 * 1024, 4}, Geometry{128 * 1024, 8},
+                      Geometry{4096, 1}),
+    [](const auto &info) {
+        return "s" + std::to_string(info.param.size) + "w" +
+               std::to_string(info.param.assoc);
+    });
+
+TEST(Cache, CanAcceptReadTracksAllThreeConditions)
+{
+    Cache c(smallCache());  // 4 MSHRs, 8 targets
+    // Present line: always acceptable.
+    c.fill(line(0));
+    EXPECT_TRUE(c.canAcceptRead(line(0)));
+    // Fresh misses acceptable until MSHRs run out.
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_TRUE(c.canAcceptRead(line(100 + i)));
+        c.read(line(100 + i), i);
+    }
+    EXPECT_FALSE(c.canAcceptRead(line(200)));
+    // Merging acceptable until the target list fills.
+    for (unsigned i = 1; i < 8; ++i) {
+        EXPECT_TRUE(c.canAcceptRead(line(100)));
+        c.read(line(100), 10 + i);
+    }
+    EXPECT_FALSE(c.canAcceptRead(line(100)));
+    // A fill releases both the MSHR and target pressure.
+    c.fill(line(100));
+    EXPECT_TRUE(c.canAcceptRead(line(200)));
+}

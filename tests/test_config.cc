@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the machine configuration (paper Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace wsl;
+
+TEST(Config, BaselineMatchesTableI)
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_EQ(cfg.numSms, 16u);
+    EXPECT_EQ(cfg.maxThreadsPerSm, 1536u);
+    EXPECT_EQ(cfg.numRegsPerSm, 32768u);
+    EXPECT_EQ(cfg.maxCtasPerSm, 8u);
+    EXPECT_EQ(cfg.sharedMemPerSm, 48u * 1024u);
+    EXPECT_EQ(cfg.numSchedulers, 2u);
+    EXPECT_EQ(cfg.scheduler, SchedulerKind::Gto);
+    EXPECT_EQ(cfg.l1Size, 16u * 1024u);
+    EXPECT_EQ(cfg.l1Assoc, 4u);
+    EXPECT_EQ(cfg.l1Mshrs, 64u);
+    EXPECT_EQ(cfg.numMemPartitions, 6u);
+    EXPECT_EQ(cfg.l2SizePerPartition, 128u * 1024u);
+    EXPECT_EQ(cfg.l2Assoc, 8u);
+}
+
+TEST(Config, GddrTimingsScaleTableIRatios)
+{
+    // Table I gives tCL=12 tRP=12 tRC=40 tRAS=28 tRCD=12 tRRD=6 at the
+    // memory clock; after scaling to core cycles the ratios must hold.
+    const GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_DOUBLE_EQ(static_cast<double>(cfg.tCL) / cfg.tRP, 1.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(cfg.tRC) / cfg.tCL,
+                     40.0 / 12.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(cfg.tRAS) / cfg.tCL,
+                     28.0 / 12.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>(cfg.tRRD) / cfg.tCL,
+                     6.0 / 12.0);
+}
+
+TEST(Config, MaxWarps)
+{
+    EXPECT_EQ(GpuConfig::baseline().maxWarpsPerSm(), 48u);
+    EXPECT_EQ(GpuConfig::largeResource().maxWarpsPerSm(), 64u);
+}
+
+TEST(Config, LargeResourceMatchesSectionVH)
+{
+    const GpuConfig cfg = GpuConfig::largeResource();
+    EXPECT_EQ(cfg.numRegsPerSm, 65536u);       // 256 KB register file
+    EXPECT_EQ(cfg.sharedMemPerSm, 96u * 1024u);
+    EXPECT_EQ(cfg.maxCtasPerSm, 32u);
+    EXPECT_EQ(cfg.maxThreadsPerSm, 2048u);     // 64 warps
+    // Unchanged parts of the machine.
+    EXPECT_EQ(cfg.numSms, 16u);
+    EXPECT_EQ(cfg.numMemPartitions, 6u);
+}

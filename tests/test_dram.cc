@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the GDDR5 channel model: FR-FCFS scheduling, row
+ * buffer timing, bus bandwidth, and write handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace wsl;
+
+namespace {
+
+/** Tick until `count` reads complete or `limit` cycles pass. */
+std::vector<DramCompletion>
+runUntil(DramChannel &dram, unsigned count, Cycle limit,
+         Cycle start = 0)
+{
+    std::vector<DramCompletion> done;
+    for (Cycle t = start; t < start + limit && done.size() < count; ++t)
+        dram.tick(t, done);
+    return done;
+}
+
+GpuConfig cfg = GpuConfig::baseline();
+
+/** Address of the n-th line owned by partition 0. */
+Addr
+localLine(unsigned n)
+{
+    return static_cast<Addr>(n) * cfg.numMemPartitions * lineSize;
+}
+
+} // namespace
+
+TEST(Dram, SingleReadCompletes)
+{
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    const auto done = runUntil(dram, 1, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].line, localLine(0));
+    // Row miss: precharge + activate + CAS + burst.
+    EXPECT_GE(done[0].readyAt, cfg.tRP + cfg.tRCD + cfg.tCL);
+    EXPECT_LE(done[0].readyAt,
+              cfg.tRAS + cfg.tRP + cfg.tRCD + cfg.tCL + cfg.dramBurst +
+                  5);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    const auto first = runUntil(dram, 1, 1000);
+    ASSERT_EQ(first.size(), 1u);
+    const Cycle t0 = first[0].readyAt;
+
+    // Same row (consecutive local lines within one row's bank stride
+    // share the row only every dramBanks-th line); line 0 and line
+    // dramBanks land in the same bank and row.
+    dram.push({localLine(cfg.dramBanks), false, t0});
+    const auto second = runUntil(dram, 1, 1000, t0);
+    ASSERT_EQ(second.size(), 1u);
+    const Cycle hit_latency = second[0].readyAt - t0;
+    EXPECT_LE(hit_latency, cfg.tCL + cfg.dramBurst + 2);
+}
+
+TEST(Dram, FrfcfsPrefersRowHitOverOlderMiss)
+{
+    DramChannel dram(cfg);
+    // Open a row in bank 0 via line 0.
+    dram.push({localLine(0), false, 0});
+    auto done = runUntil(dram, 1, 1000);
+    const Cycle t0 = done[0].readyAt;
+
+    // Queue: first an access to a *different* row of bank 0 (would be
+    // oldest), then a hit on the open row.
+    const Addr other_row = localLine(cfg.dramBanks * 64);
+    const Addr row_hit = localLine(cfg.dramBanks);
+    dram.push({other_row, false, t0});
+    dram.push({row_hit, false, t0});
+    done = runUntil(dram, 2, 4000, t0);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].line, row_hit);  // served first despite arriving
+    EXPECT_EQ(done[1].line, other_row);
+    EXPECT_EQ(dram.stats.dramRowHits, 2u + 1u);  // incl. reopened row
+}
+
+TEST(Dram, WritesCompleteSilently)
+{
+    DramChannel dram(cfg);
+    dram.push({localLine(0), true, 0});
+    const auto done = runUntil(dram, 1, 2000);
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(dram.stats.dramWrites, 1u);
+    EXPECT_FALSE(dram.busy());
+}
+
+TEST(Dram, QueueCapacityIsHonored)
+{
+    DramChannel dram(cfg);
+    for (unsigned i = 0; i < cfg.dramQueue; ++i) {
+        EXPECT_TRUE(dram.canAccept());
+        dram.push({localLine(i * 100), false, 0});
+    }
+    EXPECT_FALSE(dram.canAccept());
+}
+
+TEST(Dram, StreamingThroughputApproachesBurstRate)
+{
+    // Sequential lines (one partition's view of a stream) should hit
+    // rows most of the time and sustain ~1 transaction per burst.
+    DramChannel dram(cfg);
+    const unsigned n = 64;
+    unsigned pushed = 0;
+    std::vector<DramCompletion> done;
+    Cycle t = 0;
+    while (done.size() < n && t < 50000) {
+        if (pushed < n && dram.canAccept())
+            dram.push({localLine(pushed++), false, t});
+        dram.tick(t, done);
+        ++t;
+    }
+    ASSERT_EQ(done.size(), n);
+    const double cycles_per_line = static_cast<double>(t) / n;
+    EXPECT_LT(cycles_per_line, cfg.dramBurst * 2.0);
+    const double hit_rate =
+        static_cast<double>(dram.stats.dramRowHits) /
+        (dram.stats.dramRowHits + dram.stats.dramRowMisses);
+    EXPECT_GE(hit_rate, 0.75);
+}
+
+TEST(Dram, RandomTrafficHasLowRowLocality)
+{
+    DramChannel dram(cfg);
+    const unsigned n = 64;
+    unsigned pushed = 0;
+    std::vector<DramCompletion> done;
+    Cycle t = 0;
+    while (done.size() < n && t < 100000) {
+        if (pushed < n && dram.canAccept()) {
+            // Large stride: every access opens a new row.
+            dram.push({localLine(pushed * 4096), false, t});
+            ++pushed;
+        }
+        dram.tick(t, done);
+        ++t;
+    }
+    ASSERT_EQ(done.size(), n);
+    EXPECT_GT(dram.stats.dramRowMisses, n / 2);
+}
+
+TEST(Dram, BusSerializesConcurrentBanks)
+{
+    // Two row hits in different banks still share the data bus: their
+    // completions must be at least one burst apart.
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    dram.push({localLine(1), false, 0});  // different bank
+    auto done = runUntil(dram, 2, 4000);
+    ASSERT_EQ(done.size(), 2u);
+    const Cycle gap = done[1].readyAt > done[0].readyAt
+                          ? done[1].readyAt - done[0].readyAt
+                          : done[0].readyAt - done[1].readyAt;
+    EXPECT_GE(gap, cfg.dramBurst);
+}
+
+TEST(Dram, RequestsNotArrivedAreNotServed)
+{
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 500});
+    const auto done = runUntil(dram, 1, 400);
+    EXPECT_TRUE(done.empty());
+}
+
+TEST(Dram, BusyReflectsOutstandingWork)
+{
+    DramChannel dram(cfg);
+    EXPECT_FALSE(dram.busy());
+    dram.push({localLine(0), false, 0});
+    EXPECT_TRUE(dram.busy());
+    runUntil(dram, 1, 1000);
+    EXPECT_FALSE(dram.busy());
+}

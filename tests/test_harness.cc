@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the experiment harness: characterization caching, solo
+ * runs, co-run mechanics (instruction targets, halting, survivor
+ * expansion), and the oracle's combination enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+const GpuConfig cfg = GpuConfig::baseline();
+
+} // namespace
+
+TEST(Harness, PolicyNames)
+{
+    EXPECT_STREQ(policyName(PolicyKind::LeftOver), "LeftOver");
+    EXPECT_STREQ(policyName(PolicyKind::Even), "Even");
+    EXPECT_STREQ(policyName(PolicyKind::Spatial), "Spatial");
+    EXPECT_STREQ(policyName(PolicyKind::Dynamic), "Dynamic");
+}
+
+TEST(Harness, MakePolicyProducesNamedPolicies)
+{
+    for (PolicyKind kind : {PolicyKind::LeftOver, PolicyKind::Even,
+                            PolicyKind::Spatial, PolicyKind::Dynamic}) {
+        auto policy = makePolicy(kind);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->name(), policyName(kind));
+    }
+}
+
+TEST(Harness, DefaultWindowRespectsEnvironment)
+{
+    setenv("WSL_WINDOW", "12345", 1);
+    EXPECT_EQ(defaultWindow(), 12345u);
+    setenv("WSL_WINDOW", "-3", 1);
+    EXPECT_EQ(defaultWindow(), 50000u);
+    unsetenv("WSL_WINDOW");
+    EXPECT_EQ(defaultWindow(), 50000u);
+}
+
+TEST(Harness, SoloRunForCyclesStopsOnTime)
+{
+    const SoloResult r =
+        runSoloForCycles(benchmark("IMG"), cfg, 10000);
+    EXPECT_EQ(r.cycles, 10000u);
+    EXPECT_GT(r.warpInsts, 0u);
+    EXPECT_GT(r.threadInsts, r.warpInsts);
+    EXPECT_NEAR(r.warpIpc(), static_cast<double>(r.warpInsts) / 10000.0,
+                1e-9);
+}
+
+TEST(Harness, SoloRunToTargetReachesTarget)
+{
+    const std::uint64_t target = 200000;
+    const SoloResult r =
+        runSoloToTarget(benchmark("IMG"), cfg, target, 1'000'000);
+    EXPECT_GE(r.threadInsts, target);
+    EXPECT_LT(r.cycles, 1'000'000u);
+}
+
+TEST(Harness, CharacterizationCachesSoloRuns)
+{
+    Characterization chars(cfg, 5000);
+    const std::uint64_t t1 = chars.target("MM");
+    const std::uint64_t t2 = chars.target("MM");
+    EXPECT_EQ(t1, t2);
+    EXPECT_GT(t1, 0u);
+    EXPECT_EQ(chars.aloneCycles("MM"), 5000u);
+    EXPECT_EQ(chars.window(), 5000u);
+}
+
+TEST(Harness, CoRunHaltsEachAppAtItsTarget)
+{
+    Characterization chars(cfg, 15000);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const std::vector<std::uint64_t> targets = {chars.target("IMG"),
+                                                chars.target("NN")};
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::Even, cfg);
+    ASSERT_TRUE(r.completed);
+    ASSERT_EQ(r.apps.size(), 2u);
+    for (unsigned i = 0; i < 2; ++i) {
+        EXPECT_GE(r.apps[i].insts, targets[i]);
+        EXPECT_LE(r.apps[i].cycles, r.makespan);
+    }
+    EXPECT_EQ(std::max(r.apps[0].cycles, r.apps[1].cycles), r.makespan);
+    EXPECT_GT(r.sysIpc, 0.0);
+}
+
+TEST(Harness, SurvivorSpeedsUpAfterPartnerFinishes)
+{
+    // Give app 0 a tiny target: after it halts, app 1 should progress
+    // faster than while sharing. Verified via finish times: makespan
+    // must be far less than two sequential windows.
+    Characterization chars(cfg, 15000);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("MM")};
+    const std::vector<std::uint64_t> targets = {
+        chars.target("IMG") / 10, chars.target("MM")};
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::Even, cfg);
+    ASSERT_TRUE(r.completed);
+    EXPECT_LT(r.apps[0].cycles, r.apps[1].cycles);
+    EXPECT_LT(r.makespan, 2u * 15000u);
+}
+
+TEST(Harness, FixedQuotaRunUsesGivenCombo)
+{
+    Characterization chars(cfg, 10000);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const std::vector<std::uint64_t> targets = {chars.target("IMG"),
+                                                chars.target("NN")};
+    CoRunOptions opts;
+    opts.fixedQuotas = {6, 2};
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg, opts);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Harness, MaxCyclesCapMarksIncomplete)
+{
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const std::vector<std::uint64_t> targets = {std::uint64_t{1} << 60,
+                                                std::uint64_t{1} << 60};
+    CoRunOptions opts;
+    opts.maxCycles = 20000;
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::Even, cfg, opts);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.makespan, 20000u);
+}
+
+TEST(Harness, ScaledSlicerOptionsTrackWindow)
+{
+    const WarpedSlicerOptions small = scaledSlicerOptions(20000);
+    const WarpedSlicerOptions paper = scaledSlicerOptions(2'000'000);
+    EXPECT_LT(small.warmup, paper.warmup);
+    EXPECT_LE(small.profileLength, 5000u);
+    EXPECT_EQ(paper.profileLength, 5000u);  // the paper's constant
+    EXPECT_GE(small.profileLength, 2000u);
+}
+
+TEST(Harness, EnumerateCombosRespectsResources)
+{
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const auto combos = enumerateFeasibleCombos(apps, cfg);
+    ASSERT_FALSE(combos.empty());
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    for (const auto &combo : combos) {
+        ASSERT_EQ(combo.size(), 2u);
+        EXPECT_GE(combo[0], 1);
+        EXPECT_GE(combo[1], 1);
+        ResourceVec used =
+            ResourceVec::ofCta(apps[0]).scaled(combo[0]) +
+            ResourceVec::ofCta(apps[1]).scaled(combo[1]);
+        EXPECT_TRUE(used.fitsIn(cap));
+    }
+    // IMG (8 max) x NN (8 max) limited by 8 CTA slots: combos where
+    // t0 + t1 <= 8 (registers permit most of them): expect at least
+    // the 21 slot-feasible ones minus register-infeasible, and no
+    // combo may exceed 8 total slots.
+    for (const auto &combo : combos)
+        EXPECT_LE(combo[0] + combo[1], 8);
+}
+
+TEST(Harness, EnumerateCombosMatchesBruteForceCount)
+{
+    const std::vector<KernelParams> apps = {benchmark("HOT"),
+                                            benchmark("BFS")};
+    const auto combos = enumerateFeasibleCombos(apps, cfg);
+    // Brute force over the full rectangle.
+    unsigned expect = 0;
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    for (int a = 1; a <= 6; ++a) {
+        for (int b = 1; b <= 3; ++b) {
+            ResourceVec used =
+                ResourceVec::ofCta(apps[0]).scaled(a) +
+                ResourceVec::ofCta(apps[1]).scaled(b);
+            expect += used.fitsIn(cap);
+        }
+    }
+    EXPECT_EQ(combos.size(), expect);
+}
+
+TEST(Harness, TripleCombosEnumerate)
+{
+    const std::vector<KernelParams> apps = {
+        benchmark("MVP"), benchmark("MM"), benchmark("IMG")};
+    const auto combos = enumerateFeasibleCombos(apps, cfg);
+    ASSERT_FALSE(combos.empty());
+    for (const auto &combo : combos) {
+        ASSERT_EQ(combo.size(), 3u);
+        EXPECT_LE(combo[0] + combo[1] + combo[2], 8);
+    }
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cross-module integration and property tests: co-runs under every
+ * policy over several pairs, checking structural invariants of the
+ * results (completion, accounting identities, determinism) rather
+ * than absolute performance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+const GpuConfig cfg = GpuConfig::baseline();
+constexpr Cycle kWindow = 15000;
+
+Characterization &
+chars()
+{
+    static Characterization c(cfg, kWindow);
+    return c;
+}
+
+struct Scenario
+{
+    const char *first;
+    const char *second;
+    PolicyKind kind;
+};
+
+std::string
+scenarioName(const ::testing::TestParamInfo<Scenario> &info)
+{
+    return std::string(info.param.first) + info.param.second +
+           policyName(info.param.kind);
+}
+
+} // namespace
+
+class CoRunInvariants : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(CoRunInvariants, CompletesAndSatisfiesAccounting)
+{
+    const Scenario sc = GetParam();
+    const std::vector<KernelParams> apps = {benchmark(sc.first),
+                                            benchmark(sc.second)};
+    const std::vector<std::uint64_t> targets = {
+        chars().target(sc.first), chars().target(sc.second)};
+    CoRunOptions opts;
+    opts.slicer = scaledSlicerOptions(kWindow);
+    const CoRunResult r =
+        runCoSchedule(apps, targets, sc.kind, cfg, opts);
+
+    ASSERT_TRUE(r.completed) << "co-run hit the cycle cap";
+    ASSERT_EQ(r.apps.size(), 2u);
+    // Each app reached its target, not wildly beyond it (halting is
+    // prompt: within a generous overshoot bound).
+    for (unsigned i = 0; i < 2; ++i) {
+        EXPECT_GE(r.apps[i].insts, targets[i]);
+        EXPECT_LT(r.apps[i].insts, targets[i] * 2);
+        EXPECT_LE(r.apps[i].cycles, r.makespan);
+        EXPECT_GT(r.apps[i].cycles, 0u);
+    }
+    EXPECT_EQ(std::max(r.apps[0].cycles, r.apps[1].cycles),
+              r.makespan);
+
+    // Statistics identities.
+    const GpuStats &s = r.stats;
+    EXPECT_GE(s.l1Accesses, s.l1Misses);
+    EXPECT_GE(s.l2Accesses, s.l2Misses);
+    EXPECT_LE(s.l2Accesses, s.l1Misses + s.dramWrites + s.l1Accesses);
+    EXPECT_GE(s.threadInstsIssued, s.warpInstsIssued);
+    EXPECT_LE(s.warpInstsIssued,
+              s.cycles * cfg.numSms * cfg.numSchedulers);
+    // Co-run must beat running nothing: some overlap happened.
+    EXPECT_GT(r.sysIpc, 0.0);
+}
+
+TEST_P(CoRunInvariants, Deterministic)
+{
+    const Scenario sc = GetParam();
+    const std::vector<KernelParams> apps = {benchmark(sc.first),
+                                            benchmark(sc.second)};
+    const std::vector<std::uint64_t> targets = {
+        chars().target(sc.first), chars().target(sc.second)};
+    CoRunOptions opts;
+    opts.slicer = scaledSlicerOptions(kWindow);
+    const CoRunResult r1 =
+        runCoSchedule(apps, targets, sc.kind, cfg, opts);
+    const CoRunResult r2 =
+        runCoSchedule(apps, targets, sc.kind, cfg, opts);
+    EXPECT_EQ(r1.makespan, r2.makespan);
+    EXPECT_EQ(r1.apps[0].cycles, r2.apps[0].cycles);
+    EXPECT_EQ(r1.apps[1].cycles, r2.apps[1].cycles);
+    EXPECT_EQ(r1.stats.l1Misses, r2.stats.l1Misses);
+    EXPECT_EQ(r1.chosenCtas, r2.chosenCtas);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CoRunInvariants,
+    ::testing::Values(
+        Scenario{"IMG", "NN", PolicyKind::LeftOver},
+        Scenario{"IMG", "NN", PolicyKind::Spatial},
+        Scenario{"IMG", "NN", PolicyKind::Even},
+        Scenario{"IMG", "NN", PolicyKind::Dynamic},
+        Scenario{"HOT", "BLK", PolicyKind::Even},
+        Scenario{"HOT", "BLK", PolicyKind::Dynamic},
+        Scenario{"DXT", "BFS", PolicyKind::Dynamic},
+        Scenario{"MM", "MVP", PolicyKind::Dynamic},
+        Scenario{"MM", "HOT", PolicyKind::Spatial}),
+    scenarioName);
+
+TEST(Integration, MultiprogrammingBeatsLeftOverOnFriendlyPair)
+{
+    // The headline direction on a strongly complementary pair: both
+    // Even and Dynamic must beat Left-Over for compute + cache.
+    const std::vector<KernelParams> apps = {benchmark("MM"),
+                                            benchmark("MVP")};
+    const std::vector<std::uint64_t> targets = {chars().target("MM"),
+                                                chars().target("MVP")};
+    const CoRunResult lo =
+        runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
+    const CoRunResult ev =
+        runCoSchedule(apps, targets, PolicyKind::Even, cfg);
+    CoRunOptions opts;
+    opts.slicer = scaledSlicerOptions(kWindow);
+    const CoRunResult dy =
+        runCoSchedule(apps, targets, PolicyKind::Dynamic, cfg, opts);
+    EXPECT_GT(ev.sysIpc, lo.sysIpc);
+    EXPECT_GT(dy.sysIpc, lo.sysIpc);
+}
+
+TEST(Integration, ThreeKernelCoRunCompletesUnderEveryPolicy)
+{
+    const std::vector<KernelParams> apps = {
+        benchmark("MVP"), benchmark("MM"), benchmark("IMG")};
+    const std::vector<std::uint64_t> targets = {
+        chars().target("MVP"), chars().target("MM"),
+        chars().target("IMG")};
+    for (PolicyKind kind :
+         {PolicyKind::LeftOver, PolicyKind::Spatial, PolicyKind::Even,
+          PolicyKind::Dynamic}) {
+        CoRunOptions opts;
+        opts.slicer = scaledSlicerOptions(kWindow);
+        const CoRunResult r =
+            runCoSchedule(apps, targets, kind, cfg, opts);
+        EXPECT_TRUE(r.completed) << policyName(kind);
+        for (unsigned i = 0; i < 3; ++i)
+            EXPECT_GE(r.apps[i].insts, targets[i]) << policyName(kind);
+    }
+}
+
+TEST(Integration, OracleComboNeverLosesToItsParts)
+{
+    // The best fixed combo must be at least as good as the best of
+    // the specific combos we probe (sanity of the oracle harness).
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const std::vector<std::uint64_t> targets = {chars().target("IMG"),
+                                                chars().target("NN")};
+    double best = 0.0;
+    for (const auto &combo : enumerateFeasibleCombos(apps, cfg)) {
+        CoRunOptions opts;
+        opts.fixedQuotas = combo;
+        const CoRunResult r = runCoSchedule(
+            apps, targets, PolicyKind::LeftOver, cfg, opts);
+        best = std::max(best, r.sysIpc);
+    }
+    CoRunOptions probe;
+    probe.fixedQuotas = {4, 4};
+    const CoRunResult even44 = runCoSchedule(
+        apps, targets, PolicyKind::LeftOver, cfg, probe);
+    EXPECT_GE(best, even44.sysIpc);
+}
+
+TEST(Integration, LargeResourceConfigRuns)
+{
+    const GpuConfig large = GpuConfig::largeResource();
+    Characterization large_chars(large, kWindow);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    const std::vector<std::uint64_t> targets = {
+        large_chars.target("IMG"), large_chars.target("NN")};
+    CoRunOptions opts;
+    opts.slicer = scaledSlicerOptions(kWindow);
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::Dynamic, large, opts);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Integration, StallAccountingIdentityAcrossBenchmarks)
+{
+    for (const char *name : {"BLK", "DXT", "MVP"}) {
+        const SoloResult r =
+            runSoloForCycles(benchmark(name), cfg, 8000);
+        std::uint64_t stalls = 0;
+        for (unsigned i = 0; i < numStallKinds; ++i)
+            stalls += r.stats.stalls[i];
+        EXPECT_EQ(r.stats.warpInstsIssued + stalls,
+                  r.stats.cycles * cfg.numSms * cfg.numSchedulers)
+            << name;
+    }
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode classification, latencies, and
+ * instruction helpers — parameterized over the full opcode set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "isa/instruction.hh"
+
+using namespace wsl;
+
+namespace {
+
+const Opcode allOpcodes[] = {
+    Opcode::IAdd,     Opcode::IMul,     Opcode::FAdd,
+    Opcode::FMul,     Opcode::FFma,     Opcode::FSin,
+    Opcode::FRsqrt,   Opcode::FExp,     Opcode::LdGlobal,
+    Opcode::StGlobal, Opcode::LdShared, Opcode::StShared,
+    Opcode::Bar,      Opcode::Exit};
+
+} // namespace
+
+TEST(Opcode, UnitClassification)
+{
+    EXPECT_EQ(unitOf(Opcode::IAdd), UnitKind::Alu);
+    EXPECT_EQ(unitOf(Opcode::FFma), UnitKind::Alu);
+    EXPECT_EQ(unitOf(Opcode::FSin), UnitKind::Sfu);
+    EXPECT_EQ(unitOf(Opcode::FExp), UnitKind::Sfu);
+    EXPECT_EQ(unitOf(Opcode::LdGlobal), UnitKind::Ldst);
+    EXPECT_EQ(unitOf(Opcode::StShared), UnitKind::Ldst);
+    EXPECT_EQ(unitOf(Opcode::Bar), UnitKind::None);
+    EXPECT_EQ(unitOf(Opcode::Exit), UnitKind::None);
+}
+
+TEST(Opcode, MemoryPredicates)
+{
+    EXPECT_TRUE(isMemOp(Opcode::LdGlobal));
+    EXPECT_TRUE(isMemOp(Opcode::StShared));
+    EXPECT_FALSE(isMemOp(Opcode::FAdd));
+    EXPECT_TRUE(isLoad(Opcode::LdGlobal));
+    EXPECT_TRUE(isLoad(Opcode::LdShared));
+    EXPECT_FALSE(isLoad(Opcode::StGlobal));
+    EXPECT_TRUE(isGlobalMem(Opcode::LdGlobal));
+    EXPECT_TRUE(isGlobalMem(Opcode::StGlobal));
+    EXPECT_FALSE(isGlobalMem(Opcode::LdShared));
+}
+
+TEST(Opcode, LatenciesFollowConfig)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_EQ(latencyOf(Opcode::FFma, cfg), cfg.aluLatency);
+    EXPECT_EQ(latencyOf(Opcode::FExp, cfg), cfg.sfuLatency);
+    EXPECT_EQ(latencyOf(Opcode::LdShared, cfg), cfg.shmLatency);
+    cfg.aluLatency = 99;
+    EXPECT_EQ(latencyOf(Opcode::IMul, cfg), 99u);
+}
+
+TEST(Opcode, SfuSlowerThanAlu)
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_GT(latencyOf(Opcode::FSin, cfg),
+              latencyOf(Opcode::FAdd, cfg));
+}
+
+TEST(Opcode, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (Opcode op : allOpcodes) {
+        const char *name = opcodeName(op);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::strlen(name), 0u);
+        EXPECT_NE(std::string(name), "unknown");
+        EXPECT_TRUE(names.insert(name).second) << name;
+    }
+}
+
+TEST(Instruction, NumSrcsCountsUsedOperands)
+{
+    Instruction inst;
+    EXPECT_EQ(inst.numSrcs(), 0u);  // all operands default to unused
+    inst.src0 = 3;
+    EXPECT_EQ(inst.numSrcs(), 1u);
+    inst.src1 = 4;
+    inst.src2 = 5;
+    EXPECT_EQ(inst.numSrcs(), 3u);
+}
+
+TEST(Instruction, DefaultIsRegisterToRegister)
+{
+    const Instruction inst;
+    EXPECT_EQ(inst.op, Opcode::IAdd);
+    EXPECT_EQ(inst.dst, -1);
+    EXPECT_EQ(inst.memSlot, 0u);
+}

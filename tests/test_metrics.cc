@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the multiprogramming metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hh"
+
+using namespace wsl;
+
+TEST(Metrics, SystemIpc)
+{
+    const std::vector<AppOutcome> apps = {{1000, 100, 100},
+                                          {2000, 200, 150}};
+    EXPECT_DOUBLE_EQ(systemIpc(apps, 200), 3000.0 / 200.0);
+    EXPECT_DOUBLE_EQ(systemIpc(apps, 0), 0.0);
+}
+
+TEST(Metrics, SpeedupIsSharedOverAlone)
+{
+    // Shared: 1000 insts in 200 cycles; alone: 1000 in 100 -> 0.5x.
+    const AppOutcome app{1000, 200, 100};
+    EXPECT_DOUBLE_EQ(speedup(app), 0.5);
+}
+
+TEST(Metrics, SpeedupCanExceedOne)
+{
+    const AppOutcome app{1000, 80, 100};
+    EXPECT_DOUBLE_EQ(speedup(app), 100.0 / 80.0);
+}
+
+TEST(Metrics, MinimumSpeedupPicksWorstApp)
+{
+    const std::vector<AppOutcome> apps = {{1000, 125, 100},   // 0.8
+                                          {1000, 200, 100},   // 0.5
+                                          {1000, 100, 100}};  // 1.0
+    EXPECT_DOUBLE_EQ(minimumSpeedup(apps), 0.5);
+}
+
+TEST(Metrics, AnttIsMeanInverseSpeedup)
+{
+    const std::vector<AppOutcome> apps = {{1000, 200, 100},   // 1/0.5=2
+                                          {1000, 100, 100}};  // 1
+    EXPECT_DOUBLE_EQ(antt(apps), 1.5);
+}
+
+TEST(Metrics, AnttEmpty)
+{
+    EXPECT_DOUBLE_EQ(antt({}), 0.0);
+}
+
+TEST(Metrics, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.1, 1.2, 1.3}), 1.19722, 1e-4);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({7.5}), 7.5);
+}
+
+TEST(MetricsDeath, SpeedupNeedsCompletedRuns)
+{
+    EXPECT_DEATH(speedup(AppOutcome{1000, 0, 100}), "completed");
+    EXPECT_DEATH(speedup(AppOutcome{1000, 100, 0}), "completed");
+}
+
+TEST(MetricsDeath, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit and property tests for the placement allocator, including a
+ * randomized alloc/free sweep checked against a byte-map reference
+ * implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "sm/placement.hh"
+
+using namespace wsl;
+
+TEST(Placement, FirstFitAllocatesLowAddressesFirst)
+{
+    PlacementAllocator a(1000);
+    EXPECT_EQ(a.alloc(100), 0);
+    EXPECT_EQ(a.alloc(200), 100);
+    EXPECT_EQ(a.alloc(300), 300);
+    EXPECT_EQ(a.usedBytes(), 600u);
+    EXPECT_EQ(a.freeBytes(), 400u);
+}
+
+TEST(Placement, AllocFailsWhenNothingFits)
+{
+    PlacementAllocator a(100);
+    EXPECT_EQ(a.alloc(60), 0);
+    EXPECT_EQ(a.alloc(60), PlacementAllocator::noFit);
+    EXPECT_EQ(a.alloc(40), 60);
+    EXPECT_EQ(a.alloc(1), PlacementAllocator::noFit);
+}
+
+TEST(Placement, ZeroSizeAlwaysSucceeds)
+{
+    PlacementAllocator a(10);
+    a.alloc(10);
+    EXPECT_EQ(a.alloc(0), 0);
+    EXPECT_EQ(a.usedBytes(), 10u);
+}
+
+TEST(Placement, FreeCoalescesWithNeighbors)
+{
+    PlacementAllocator a(300);
+    const auto b0 = a.alloc(100);
+    const auto b1 = a.alloc(100);
+    const auto b2 = a.alloc(100);
+    EXPECT_EQ(a.numFreeRegions(), 0u);
+    a.free(b0, 100);
+    a.free(b2, 100);
+    EXPECT_EQ(a.numFreeRegions(), 2u);
+    a.free(b1, 100);  // bridges both neighbors
+    EXPECT_EQ(a.numFreeRegions(), 1u);
+    EXPECT_EQ(a.largestFreeBlock(), 300u);
+    EXPECT_EQ(a.usedBytes(), 0u);
+}
+
+TEST(Placement, FragmentationMetric)
+{
+    PlacementAllocator a(400);
+    const auto b0 = a.alloc(100);
+    a.alloc(100);
+    const auto b2 = a.alloc(100);
+    a.alloc(100);
+    EXPECT_DOUBLE_EQ(a.fragmentation(), 0.0);  // nothing free
+    a.free(b0, 100);
+    a.free(b2, 100);
+    // 200 free in two 100-byte islands: frag = 1 - 100/200 = 0.5.
+    EXPECT_DOUBLE_EQ(a.fragmentation(), 0.5);
+    EXPECT_FALSE(a.fits(150));
+    EXPECT_TRUE(a.fits(100));
+}
+
+TEST(Placement, BestFitPrefersTightestHole)
+{
+    PlacementAllocator a(1000, PlacementPolicy::BestFit);
+    const auto big = a.alloc(500);    // [0,500)
+    const auto small = a.alloc(100);  // [500,600)
+    a.alloc(400);                     // [600,1000)
+    a.free(big, 500);
+    a.free(small, 100);
+    // Holes: [0,500) and [500,600) -> they coalesce! Rework: keep a
+    // separator allocated.
+    a.reset();
+    const auto h1 = a.alloc(500);
+    a.alloc(10);  // separator
+    const auto h2 = a.alloc(100);
+    a.alloc(10);  // separator
+    a.alloc(380);
+    a.free(h1, 500);
+    a.free(h2, 100);
+    // Best fit for 90 bytes must use the 100-byte hole at h2.
+    EXPECT_EQ(a.alloc(90), h2);
+}
+
+TEST(Placement, FirstFitTakesLowestHole)
+{
+    PlacementAllocator a(1000, PlacementPolicy::FirstFit);
+    const auto h1 = a.alloc(500);
+    a.alloc(10);
+    const auto h2 = a.alloc(100);
+    a.alloc(390);
+    a.free(h1, 500);
+    a.free(h2, 100);
+    EXPECT_EQ(a.alloc(90), h1);  // lowest address wins
+}
+
+TEST(Placement, ResetRestoresFullArena)
+{
+    PlacementAllocator a(256);
+    a.alloc(256);
+    EXPECT_FALSE(a.fits(1));
+    a.reset();
+    EXPECT_TRUE(a.fits(256));
+    EXPECT_EQ(a.numFreeRegions(), 1u);
+}
+
+TEST(PlacementDeath, FreeingOutsideArenaPanics)
+{
+    PlacementAllocator a(100);
+    a.alloc(100);
+    EXPECT_DEATH(a.free(90, 20), "outside");
+}
+
+TEST(PlacementDeath, DoubleFreePanics)
+{
+    PlacementAllocator a(100);
+    const auto b = a.alloc(50);
+    a.free(b, 50);
+    EXPECT_DEATH(a.free(b, 50), "");
+}
+
+// Figure 2a's scenario: interleaved A/B allocations; freeing one small
+// A block strands space too small for a large B block.
+TEST(Placement, Figure2FcfsFragmentation)
+{
+    // Kernel A CTAs need 1 KB, kernel B CTAs 2 KB; 6 KB arena.
+    PlacementAllocator a(6144);
+    const auto a0 = a.alloc(1024);
+    a.alloc(2048);  // B
+    const auto a1 = a.alloc(1024);
+    a.alloc(2048);  // B
+    // Both A CTAs finish: 2 KB is free in total — exactly a B CTA —
+    // but split into two stranded 1 KB islands (the Figure 2a story).
+    a.free(a0, 1024);
+    a.free(a1, 1024);
+    EXPECT_EQ(a.freeBytes(), 2048u);
+    EXPECT_FALSE(a.fits(2048));
+    EXPECT_DOUBLE_EQ(a.fragmentation(), 0.5);
+}
+
+// Figure 2d: partitioned regions (one contiguous range per kernel)
+// never fragment across kernels.
+TEST(Placement, Figure2PartitionedRegionsDoNotCrossFragment)
+{
+    PlacementAllocator region_a(2048), region_b(4096);
+    const auto a0 = region_a.alloc(1024);
+    region_a.alloc(1024);
+    region_b.alloc(2048);
+    region_b.alloc(2048);
+    region_a.free(a0, 1024);
+    // A's replacement CTA fits exactly where the old one was.
+    EXPECT_EQ(region_a.alloc(1024), a0);
+}
+
+// ---- Randomized property sweep against a byte-map reference ----
+
+class PlacementRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PlacementRandom, MatchesByteMapReference)
+{
+    Rng rng(GetParam() * 7 + 1);
+    const std::uint64_t cap = 4096;
+    PlacementAllocator alloc(cap, GetParam() % 2 == 0
+                                      ? PlacementPolicy::FirstFit
+                                      : PlacementPolicy::BestFit);
+    std::vector<char> bytes(cap, 0);
+    struct Block
+    {
+        std::int64_t offset;
+        std::uint64_t size;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 600; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const std::uint64_t size = 32 + rng.range(512);
+            const std::int64_t off = alloc.alloc(size);
+            if (off == PlacementAllocator::noFit) {
+                // Reference agrees: no contiguous run of `size` zeros.
+                std::uint64_t run = 0, best = 0;
+                for (char b : bytes) {
+                    run = b ? 0 : run + 1;
+                    best = std::max(best, run);
+                }
+                ASSERT_LT(best, size);
+                continue;
+            }
+            for (std::uint64_t i = 0; i < size; ++i) {
+                ASSERT_EQ(bytes[off + i], 0) << "overlap at " << off;
+                bytes[off + i] = 1;
+            }
+            live.push_back({off, size});
+        } else {
+            const std::size_t victim = rng.range(live.size());
+            const Block b = live[victim];
+            live[victim] = live.back();
+            live.pop_back();
+            alloc.free(b.offset, b.size);
+            for (std::uint64_t i = 0; i < b.size; ++i)
+                bytes[b.offset + i] = 0;
+        }
+        // Used-byte accounting matches the reference map.
+        std::uint64_t ref_used = 0;
+        for (char b : bytes)
+            ref_used += b;
+        ASSERT_EQ(alloc.usedBytes(), ref_used);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementRandom,
+                         ::testing::Range(0, 10));

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the baseline slicing policies: even-split quota math
+ * (checked against the paper's Table III "Even" column), spatial SM
+ * grouping, and policy behavior as kernels come and go.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hh"
+#include "harness/runner.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+const GpuConfig cfg = GpuConfig::baseline();
+
+} // namespace
+
+// Table III "Even" column entries are derivable statically: each kernel
+// gets the CTAs that fit into half of every SM resource.
+
+struct EvenCase
+{
+    const char *name;
+    int expected;  // quota under K = 2
+};
+
+class EvenQuotaTableIII : public ::testing::TestWithParam<EvenCase>
+{
+};
+
+TEST_P(EvenQuotaTableIII, MatchesPaperEvenColumn)
+{
+    EXPECT_EQ(evenQuota(benchmark(GetParam().name), cfg, 2),
+              GetParam().expected);
+}
+
+// From paper Table III: DXT_MVP Even=(4,4), HOT_MVP Even=(1,4) is
+// thread-limited in the paper's count; with warp-granular threads HOT
+// fits 3 CTAs in half an SM (768 threads / 256). DXT 4, MM 4, IMG 4,
+// BLK 4, LBM 4 (reg-limited: 16384/4080), KNN 3, BFS 1, MVP 4, NN 4.
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, EvenQuotaTableIII,
+    ::testing::Values(EvenCase{"DXT", 4}, EvenCase{"MVP", 4},
+                      EvenCase{"NN", 4}, EvenCase{"MM", 4},
+                      EvenCase{"IMG", 4}, EvenCase{"BLK", 4},
+                      EvenCase{"LBM", 4}, EvenCase{"KNN", 3},
+                      EvenCase{"BFS", 1}, EvenCase{"HOT", 3}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(EvenQuota, ThreeWaySplitShrinksQuotas)
+{
+    EXPECT_LE(evenQuota(benchmark("DXT"), cfg, 3),
+              evenQuota(benchmark("DXT"), cfg, 2));
+    EXPECT_EQ(evenQuota(benchmark("BFS"), cfg, 3), 1);
+}
+
+TEST(EvenQuota, SingleKernelGetsWholeSm)
+{
+    EXPECT_EQ(evenQuota(benchmark("DXT"), cfg, 1), 8);
+}
+
+TEST(SpatialGroups, EvenSplitForTwoKernels)
+{
+    const auto groups = spatialGroups(16, 2);
+    unsigned count0 = 0;
+    for (unsigned g : groups)
+        count0 += g == 0;
+    EXPECT_EQ(count0, 8u);
+    // Contiguous assignment.
+    EXPECT_EQ(groups[0], 0u);
+    EXPECT_EQ(groups[15], 1u);
+}
+
+TEST(SpatialGroups, RemainderDistributed)
+{
+    const auto groups = spatialGroups(16, 3);
+    unsigned counts[3] = {0, 0, 0};
+    for (unsigned g : groups)
+        ++counts[g];
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 16u);
+    for (unsigned c : counts) {
+        EXPECT_GE(c, 5u);
+        EXPECT_LE(c, 6u);
+    }
+}
+
+TEST(SpatialGroups, SingleKernelOwnsAll)
+{
+    const auto groups = spatialGroups(16, 1);
+    for (unsigned g : groups)
+        EXPECT_EQ(g, 0u);
+}
+
+TEST(Policies, LeftOverHasNoRestrictions)
+{
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark("IMG"));
+    gpu.launchKernel(benchmark("NN"));
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        EXPECT_EQ(gpu.sm(s).quota(0), -1);
+        EXPECT_EQ(gpu.sm(s).quota(1), -1);
+        EXPECT_TRUE(gpu.slicingPolicy().mayDispatch(gpu, s, 0));
+        EXPECT_TRUE(gpu.slicingPolicy().mayDispatch(gpu, s, 1));
+    }
+}
+
+TEST(Policies, EvenSetsQuotasOnLaunch)
+{
+    Gpu gpu(cfg, std::make_unique<EvenPolicy>());
+    gpu.launchKernel(benchmark("IMG"));
+    EXPECT_EQ(gpu.sm(0).quota(0), -1);  // alone: unrestricted
+    gpu.launchKernel(benchmark("NN"));
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        EXPECT_EQ(gpu.sm(s).quota(0), 4);
+        EXPECT_EQ(gpu.sm(s).quota(1), 4);
+    }
+}
+
+TEST(Policies, SpatialMasksPartitionSms)
+{
+    Gpu gpu(cfg, std::make_unique<SpatialPolicy>());
+    gpu.launchKernel(benchmark("IMG"));
+    gpu.launchKernel(benchmark("NN"));
+    const SlicingPolicy &pol = gpu.slicingPolicy();
+    unsigned sms_for_0 = 0, sms_for_1 = 0, both = 0;
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        const bool a = pol.mayDispatch(gpu, s, 0);
+        const bool b = pol.mayDispatch(gpu, s, 1);
+        sms_for_0 += a;
+        sms_for_1 += b;
+        both += a && b;
+    }
+    EXPECT_EQ(sms_for_0, 8u);
+    EXPECT_EQ(sms_for_1, 8u);
+    EXPECT_EQ(both, 0u);
+}
+
+TEST(Policies, FixedQuotaAppliesGivenSplit)
+{
+    Gpu gpu(cfg,
+            std::make_unique<FixedQuotaPolicy>(std::vector<int>{6, 2}));
+    gpu.launchKernel(benchmark("IMG"));
+    gpu.launchKernel(benchmark("NN"));
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        EXPECT_EQ(gpu.sm(s).quota(0), 6);
+        EXPECT_EQ(gpu.sm(s).quota(1), 2);
+    }
+}
+
+TEST(Policies, QuotasLiftedWhenOnlyOneKernelRemains)
+{
+    // Run a real co-schedule with very different instruction targets:
+    // after the small kernel halts, the survivor must be unrestricted
+    // (paper Section V-A: it "may then consume all the available
+    // resources").
+    Characterization chars(cfg, 20000);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("NN")};
+    Gpu gpu(cfg,
+            std::make_unique<FixedQuotaPolicy>(std::vector<int>{4, 4}));
+    gpu.launchKernel(apps[0], chars.target("IMG") / 8);
+    gpu.launchKernel(apps[1], chars.target("NN"));
+    gpu.run(2'000'000);
+    ASSERT_TRUE(gpu.allKernelsDone());
+    ASSERT_TRUE(gpu.kernel(0).done);
+    EXPECT_LT(gpu.kernel(0).finishCycle, gpu.kernel(1).finishCycle);
+    // After kernel 0 halted, the policy cleared quotas.
+    EXPECT_EQ(gpu.sm(0).quota(1), -1);
+}
+
+TEST(Policies, LiveKernelsTracksCompletion)
+{
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark("IMG"), 50000);
+    EXPECT_EQ(liveKernels(gpu).size(), 1u);
+    gpu.run(2'000'000);
+    EXPECT_TRUE(liveKernels(gpu).empty());
+}
+
+TEST(TimeSlice, OwnershipRotates)
+{
+    Gpu gpu(cfg, std::make_unique<TimeSlicePolicy>(1000));
+    gpu.launchKernel(benchmark("IMG"), 1'000'000'000);
+    gpu.launchKernel(benchmark("NN"), 1'000'000'000);
+    auto *pol =
+        dynamic_cast<TimeSlicePolicy *>(&gpu.slicingPolicy());
+    ASSERT_NE(pol, nullptr);
+    gpu.run(500);
+    EXPECT_EQ(pol->currentOwner(), 0);
+    gpu.run(1000);
+    EXPECT_EQ(pol->currentOwner(), 1);
+    gpu.run(1000);
+    EXPECT_EQ(pol->currentOwner(), 0);
+}
+
+TEST(TimeSlice, OnlyOwnerReceivesCtas)
+{
+    Gpu gpu(cfg, std::make_unique<TimeSlicePolicy>(5000));
+    gpu.launchKernel(benchmark("IMG"), 1'000'000'000);
+    gpu.launchKernel(benchmark("NN"), 1'000'000'000);
+    gpu.run(1000);
+    unsigned img = 0, nn = 0;
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        img += gpu.sm(s).residentCtas(0);
+        nn += gpu.sm(s).residentCtas(1);
+    }
+    EXPECT_GT(img, 0u);
+    EXPECT_EQ(nn, 0u);  // kernel 1 waits for its slice
+}
+
+TEST(TimeSlice, CoRunCompletes)
+{
+    Characterization chars(cfg, 10000);
+    Gpu gpu(cfg, std::make_unique<TimeSlicePolicy>(8000));
+    gpu.launchKernel(benchmark("IMG"), chars.target("IMG"));
+    gpu.launchKernel(benchmark("NN"), chars.target("NN"));
+    gpu.run(4'000'000);
+    EXPECT_TRUE(gpu.allKernelsDone());
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the profiling support: the Equation 4 CTA-ratio
+ * scaling, the Equation 3 bandwidth scaling, and perf-vector assembly
+ * with interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+
+using namespace wsl;
+
+TEST(ScaledIpc, ComputeBoundIsUnchanged)
+{
+    // phi_mem = 0: no memory sensitivity, no correction.
+    EXPECT_DOUBLE_EQ(scaledIpc(2.0, 0.0, 8, 4.5), 2.0);
+}
+
+TEST(ScaledIpc, Formula)
+{
+    // factor = 1 + phi * (cta/avg - 1).
+    EXPECT_DOUBLE_EQ(scaledIpc(1.0, 0.5, 8, 4.0), 1.0 + 0.5 * 1.0);
+    EXPECT_DOUBLE_EQ(scaledIpc(1.0, 0.5, 2, 4.0), 1.0 - 0.5 * 0.5);
+}
+
+TEST(ScaledIpc, AverageCtaCountIsNeutral)
+{
+    EXPECT_DOUBLE_EQ(scaledIpc(3.0, 0.9, 5, 5.0), 3.0);
+}
+
+TEST(ScaledIpc, DegenerateAvgReturnsSample)
+{
+    EXPECT_DOUBLE_EQ(scaledIpc(3.0, 0.9, 5, 0.0), 3.0);
+}
+
+TEST(ScaledIpc, FactorClampedAtZero)
+{
+    // Extreme phi and tiny CTA count cannot produce negative IPC.
+    EXPECT_GE(scaledIpc(1.0, 1.0, 1, 100.0), 0.0);
+}
+
+TEST(ScaledIpcBandwidth, UnderFairShareIsUnchanged)
+{
+    // An SM that used less than its fair share was not inflated by the
+    // profile's lighter contention: leave it alone.
+    ProfileSample s{4, 1.0, 0.9, 0.01};
+    EXPECT_DOUBLE_EQ(scaledIpcBandwidth(s, 0.05), 1.0);
+}
+
+TEST(ScaledIpcBandwidth, OverConsumerScaledDown)
+{
+    // Used 2x fair share while fully memory bound: halve the IPC.
+    ProfileSample s{8, 1.0, 1.0, 0.10};
+    EXPECT_DOUBLE_EQ(scaledIpcBandwidth(s, 0.05), 0.5);
+}
+
+TEST(ScaledIpcBandwidth, PhiWeightsTheCorrection)
+{
+    // Half memory bound: only half the bandwidth deficit applies.
+    ProfileSample s{8, 1.0, 0.5, 0.10};
+    EXPECT_DOUBLE_EQ(scaledIpcBandwidth(s, 0.05), 0.75);
+}
+
+TEST(ScaledIpcBandwidth, NoTrafficNoCorrection)
+{
+    ProfileSample s{8, 1.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(scaledIpcBandwidth(s, 0.05), 1.0);
+    EXPECT_DOUBLE_EQ(scaledIpcBandwidth(s, 0.0), 1.0);
+}
+
+TEST(BuildPerfVector, DirectSamples)
+{
+    std::vector<ProfileSample> samples;
+    for (unsigned j = 1; j <= 4; ++j)
+        samples.push_back({j, static_cast<double>(j), 0.0, 0.0});
+    const auto perf = buildPerfVector(samples, 4, 0.0);
+    ASSERT_EQ(perf.size(), 4u);
+    for (unsigned j = 0; j < 4; ++j)
+        EXPECT_DOUBLE_EQ(perf[j], j + 1.0);
+}
+
+TEST(BuildPerfVector, AppliesEquation4WhenAvgGiven)
+{
+    std::vector<ProfileSample> samples = {{8, 1.0, 1.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 8, 4.0);
+    // factor = 1 + 1.0*(8/4 - 1) = 2.
+    EXPECT_DOUBLE_EQ(perf[7], 2.0);
+}
+
+TEST(BuildPerfVector, InterpolatesGaps)
+{
+    // Samples at 1 and 4 CTAs only: 2 and 3 interpolate linearly.
+    std::vector<ProfileSample> samples = {{1, 1.0, 0.0, 0.0},
+                                          {4, 4.0, 0.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 4, 0.0);
+    EXPECT_DOUBLE_EQ(perf[0], 1.0);
+    EXPECT_DOUBLE_EQ(perf[1], 2.0);
+    EXPECT_DOUBLE_EQ(perf[2], 3.0);
+    EXPECT_DOUBLE_EQ(perf[3], 4.0);
+}
+
+TEST(BuildPerfVector, ExtendsFlatPastLastSample)
+{
+    std::vector<ProfileSample> samples = {{2, 3.0, 0.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 5, 0.0);
+    EXPECT_DOUBLE_EQ(perf[2], 3.0);
+    EXPECT_DOUBLE_EQ(perf[4], 3.0);
+}
+
+TEST(BuildPerfVector, LeadingGapScalesProportionally)
+{
+    // Only a sample at 4 CTAs: 1..3 assume linear scaling from zero.
+    std::vector<ProfileSample> samples = {{4, 4.0, 0.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 4, 0.0);
+    EXPECT_DOUBLE_EQ(perf[0], 1.0);
+    EXPECT_DOUBLE_EQ(perf[1], 2.0);
+    EXPECT_DOUBLE_EQ(perf[2], 3.0);
+}
+
+TEST(BuildPerfVector, DuplicateSamplesAverage)
+{
+    std::vector<ProfileSample> samples = {{2, 2.0, 0.0, 0.0},
+                                          {2, 4.0, 0.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 2, 0.0);
+    EXPECT_DOUBLE_EQ(perf[1], 3.0);
+}
+
+TEST(BuildPerfVector, OutOfRangeSamplesIgnored)
+{
+    std::vector<ProfileSample> samples = {{9, 5.0, 0.0, 0.0},
+                                          {0, 7.0, 0.0, 0.0},
+                                          {1, 1.0, 0.0, 0.0}};
+    const auto perf = buildPerfVector(samples, 4, 0.0);
+    EXPECT_DOUBLE_EQ(perf[0], 1.0);
+    EXPECT_DOUBLE_EQ(perf[3], 1.0);  // flat extension
+}
+
+TEST(BuildPerfVector, EmptySamplesGiveFlatOnes)
+{
+    const auto perf = buildPerfVector({}, 3, 0.0);
+    for (double p : perf)
+        EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(BuildPerfVector, NonMonotoneCurvePreserved)
+{
+    // Cache-sensitive shape must survive assembly (no sorting).
+    std::vector<ProfileSample> samples;
+    const double shape[] = {1.0, 2.0, 3.0, 2.5, 2.0, 1.5};
+    for (unsigned j = 0; j < 6; ++j)
+        samples.push_back({j + 1, shape[j], 0.0, 0.0});
+    const auto perf = buildPerfVector(samples, 6, 0.0);
+    for (unsigned j = 0; j < 6; ++j)
+        EXPECT_DOUBLE_EQ(perf[j], shape[j]);
+}

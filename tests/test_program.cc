@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit and property tests for the kernel program generator: instruction
+ * mixes are honored exactly, dependence structure follows depDist, and
+ * memory slots are well formed — checked across all ten benchmarks via
+ * parameterized sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+KernelParams
+tinyKernel()
+{
+    KernelParams k;
+    k.name = "TINY";
+    k.gridDim = 4;
+    k.blockDim = 64;
+    k.regsPerThread = 16;
+    k.mix = {.alu = 6, .sfu = 2, .ldGlobal = 2, .stGlobal = 1,
+             .ldShared = 1, .stShared = 1, .depDist = 3,
+             .barrierPerIter = true};
+    k.loopIters = 5;
+    return k;
+}
+
+} // namespace
+
+TEST(Program, BodyLengthMatchesMix)
+{
+    const KernelProgram prog = buildProgram(tinyKernel());
+    EXPECT_EQ(prog.body.size(), tinyKernel().mix.total());
+    EXPECT_EQ(prog.loopIters, 5u);
+    EXPECT_EQ(prog.dynamicLength(), 5u * tinyKernel().mix.total());
+}
+
+TEST(Program, UnitCountsMatchMix)
+{
+    const KernelParams k = tinyKernel();
+    const KernelProgram prog = buildProgram(k);
+    EXPECT_EQ(prog.countUnit(UnitKind::Alu), k.mix.alu);
+    EXPECT_EQ(prog.countUnit(UnitKind::Sfu), k.mix.sfu);
+    EXPECT_EQ(prog.countUnit(UnitKind::Ldst),
+              k.mix.ldGlobal + k.mix.stGlobal + k.mix.ldShared +
+                  k.mix.stShared);
+    EXPECT_EQ(prog.countUnit(UnitKind::None), 1u);  // the barrier
+}
+
+TEST(Program, BarrierIsLastWhenRequested)
+{
+    const KernelProgram prog = buildProgram(tinyKernel());
+    EXPECT_EQ(prog.body.back().op, Opcode::Bar);
+}
+
+TEST(Program, NoBarrierUnlessRequested)
+{
+    KernelParams k = tinyKernel();
+    k.mix.barrierPerIter = false;
+    const KernelProgram prog = buildProgram(k);
+    for (const Instruction &inst : prog.body)
+        EXPECT_NE(inst.op, Opcode::Bar);
+}
+
+TEST(Program, MemSlotsAreDenseAndUnique)
+{
+    const KernelProgram prog = buildProgram(tinyKernel());
+    std::set<unsigned> slots;
+    for (const Instruction &inst : prog.body)
+        if (isGlobalMem(inst.op))
+            slots.insert(inst.memSlot);
+    EXPECT_EQ(slots.size(), 3u);  // 2 loads + 1 store
+    EXPECT_EQ(*slots.begin(), 0u);
+    EXPECT_EQ(*slots.rbegin(), 2u);
+}
+
+TEST(Program, DeterministicGeneration)
+{
+    const KernelProgram a = buildProgram(tinyKernel());
+    const KernelProgram b = buildProgram(tinyKernel());
+    ASSERT_EQ(a.body.size(), b.body.size());
+    for (std::size_t i = 0; i < a.body.size(); ++i) {
+        EXPECT_EQ(a.body[i].op, b.body[i].op);
+        EXPECT_EQ(a.body[i].dst, b.body[i].dst);
+        EXPECT_EQ(a.body[i].src0, b.body[i].src0);
+    }
+}
+
+TEST(Program, StoresHaveNoDestination)
+{
+    const KernelProgram prog = buildProgram(tinyKernel());
+    for (const Instruction &inst : prog.body) {
+        if (inst.op == Opcode::StGlobal || inst.op == Opcode::StShared)
+            EXPECT_EQ(inst.dst, -1);
+    }
+}
+
+TEST(Program, MaxRegisterHelper)
+{
+    KernelProgram prog;
+    prog.body.push_back({Opcode::IAdd, 5, 2, 9, -1, 0});
+    prog.body.push_back({Opcode::FMul, 1, 0, -1, -1, 0});
+    EXPECT_EQ(prog.maxRegister(), 9);
+    EXPECT_EQ(KernelProgram{}.maxRegister(), -1);
+}
+
+TEST(ProgramDeath, ValidateRejectsEmptyBody)
+{
+    KernelProgram prog;
+    prog.loopIters = 1;
+    EXPECT_DEATH(prog.validate(), "empty");
+}
+
+TEST(ProgramDeath, ValidateRejectsExplicitExit)
+{
+    KernelProgram prog;
+    prog.body.push_back({Opcode::Exit, -1, -1, -1, -1, 0});
+    EXPECT_DEATH(prog.validate(), "Exit");
+}
+
+// ---- Property sweep over every benchmark model ----
+
+class BenchmarkProgram : public ::testing::TestWithParam<KernelParams>
+{
+};
+
+TEST_P(BenchmarkProgram, ValidatesAndMatchesMix)
+{
+    const KernelParams &k = GetParam();
+    const KernelProgram prog = buildProgram(k);
+    prog.validate();
+    EXPECT_EQ(prog.body.size(), k.mix.total());
+    EXPECT_EQ(prog.countUnit(UnitKind::Alu), k.mix.alu);
+    EXPECT_EQ(prog.countUnit(UnitKind::Sfu), k.mix.sfu);
+    EXPECT_EQ(prog.loopIters, k.loopIters);
+}
+
+TEST_P(BenchmarkProgram, RegistersWithinDeclaredBudget)
+{
+    const KernelParams &k = GetParam();
+    const KernelProgram prog = buildProgram(k);
+    EXPECT_LT(prog.maxRegister(), static_cast<int>(k.regsPerThread));
+    EXPECT_LT(prog.maxRegister(), 32);  // scoreboard mask width
+}
+
+TEST_P(BenchmarkProgram, LoadsWriteRegisters)
+{
+    const KernelProgram prog = buildProgram(GetParam());
+    for (const Instruction &inst : prog.body)
+        if (isLoad(inst.op))
+            EXPECT_GE(inst.dst, 0);
+}
+
+TEST_P(BenchmarkProgram, EveryInstructionReadsARecentWrite)
+{
+    // The generator's contract: src0 of instruction i names the ring
+    // register written depDist instructions earlier.
+    const KernelParams &k = GetParam();
+    const KernelProgram prog = buildProgram(k);
+    const unsigned ring =
+        std::max(2u, std::min<unsigned>(k.regsPerThread, 24u));
+    const unsigned dep = std::max(1u, k.mix.depDist);
+    unsigned op_idx = 0;  // index among non-control instructions
+    for (std::size_t i = 0; i < prog.body.size(); ++i) {
+        if (prog.body[i].op == Opcode::Bar ||
+            prog.body[i].op == Opcode::BraDiv) {
+            continue;
+        }
+        const unsigned expect = (op_idx + ring - (dep % ring)) % ring;
+        EXPECT_EQ(prog.body[i].src0, static_cast<int>(expect));
+        ++op_idx;
+    }
+}
+
+TEST_P(BenchmarkProgram, MemoryOpsSpreadThroughBody)
+{
+    // The proportional interleave must not cluster all global accesses
+    // in one half of the body (when there are at least two).
+    const KernelProgram prog = buildProgram(GetParam());
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < prog.body.size(); ++i)
+        if (isGlobalMem(prog.body[i].op))
+            positions.push_back(i);
+    if (positions.size() < 2)
+        return;
+    const std::size_t spread = positions.back() - positions.front();
+    EXPECT_GE(spread, prog.body.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkProgram,
+                         ::testing::ValuesIn(allBenchmarks()),
+                         [](const auto &info) {
+                             return info.param.name;
+                         });

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the result-table writers (text/CSV/JSON) and the
+ * stats flattener.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.hh"
+
+using namespace wsl;
+
+namespace {
+
+Table
+sample()
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2.5"});
+    return t;
+}
+
+} // namespace
+
+TEST(Table, Dimensions)
+{
+    const Table t = sample();
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numColumns(), 2u);
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+TEST(TableDeath, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(Table{std::vector<std::string>{}}, "column");
+}
+
+TEST(Table, TextOutputIsAligned)
+{
+    std::ostringstream os;
+    sample().writeText(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name   value"), std::string::npos);
+    EXPECT_NE(out.find("alpha  1"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    std::ostringstream os;
+    sample().writeCsv(os);
+    EXPECT_EQ(os.str(), "name,value\nalpha,1\nbeta,2.5\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t({"k"});
+    t.addRow({"a,b"});
+    t.addRow({"say \"hi\""});
+    t.addRow({"line\nbreak"});
+    std::ostringstream os;
+    t.writeCsv(os);
+    EXPECT_EQ(os.str(),
+              "k\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST(Table, JsonOutputParsesShape)
+{
+    std::ostringstream os;
+    sample().writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("{\"name\": \"alpha\", \"value\": \"1\"}"),
+              std::string::npos);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out[out.size() - 2], ']');
+}
+
+TEST(Table, JsonEscapesQuotesAndBackslashes)
+{
+    Table t({"k"});
+    t.addRow({"a\"b\\c"});
+    std::ostringstream os;
+    t.writeJson(os);
+    EXPECT_NE(os.str().find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(Table, NumFormatsWithPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456), "1.235");
+    EXPECT_EQ(Table::num(1.0, 1), "1.0");
+    EXPECT_EQ(Table::num(-0.5, 2), "-0.50");
+}
+
+TEST(FlattenStats, ContainsCoreMetrics)
+{
+    GpuStats s;
+    s.cycles = 100;
+    s.warpInstsIssued = 250;
+    s.l1Accesses = 10;
+    s.l1Misses = 5;
+    const auto flat = flattenStats(s);
+    auto find = [&](const std::string &name) -> double {
+        for (const auto &[k, v] : flat)
+            if (k == name)
+                return v;
+        ADD_FAILURE() << "missing metric " << name;
+        return -1;
+    };
+    EXPECT_DOUBLE_EQ(find("cycles"), 100.0);
+    EXPECT_DOUBLE_EQ(find("ipc"), 2.5);
+    EXPECT_DOUBLE_EQ(find("l1_miss_rate"), 0.5);
+    EXPECT_DOUBLE_EQ(find("stall_LongMemoryLatency"), 0.0);
+}
+
+TEST(FlattenStats, OneEntryPerStallKind)
+{
+    const auto flat = flattenStats(GpuStats{});
+    unsigned stalls = 0;
+    for (const auto &[k, v] : flat)
+        stalls += k.rfind("stall_", 0) == 0;
+    EXPECT_EQ(stalls, numStallKinds);
+}

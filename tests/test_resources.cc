@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for multi-dimensional resource vectors and the SM
+ * resource pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/resources.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+TEST(ResourceVec, Arithmetic)
+{
+    const ResourceVec a{100, 200, 300, 2};
+    const ResourceVec b{10, 20, 30, 1};
+    EXPECT_EQ(a + b, (ResourceVec{110, 220, 330, 3}));
+    EXPECT_EQ(a - b, (ResourceVec{90, 180, 270, 1}));
+    EXPECT_EQ(b.scaled(3), (ResourceVec{30, 60, 90, 3}));
+    EXPECT_EQ(a.dividedBy(2), (ResourceVec{50, 100, 150, 1}));
+}
+
+TEST(ResourceVec, FitsInChecksEveryDimension)
+{
+    const ResourceVec cap{100, 100, 100, 4};
+    EXPECT_TRUE((ResourceVec{100, 100, 100, 4}).fitsIn(cap));
+    EXPECT_FALSE((ResourceVec{101, 0, 0, 0}).fitsIn(cap));
+    EXPECT_FALSE((ResourceVec{0, 101, 0, 0}).fitsIn(cap));
+    EXPECT_FALSE((ResourceVec{0, 0, 101, 0}).fitsIn(cap));
+    EXPECT_FALSE((ResourceVec{0, 0, 0, 5}).fitsIn(cap));
+}
+
+TEST(ResourceVec, OfCtaUsesWarpGranularThreads)
+{
+    // NN's 169-thread blocks occupy 6 warps = 192 thread slots.
+    const ResourceVec v = ResourceVec::ofCta(benchmark("NN"));
+    EXPECT_EQ(v.threads, 192u);
+    EXPECT_EQ(v.regs, 23u * 169u);
+    EXPECT_EQ(v.ctas, 1u);
+}
+
+TEST(ResourceVec, CapacityMatchesConfig)
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    EXPECT_EQ(cap.regs, 32768u);
+    EXPECT_EQ(cap.shm, 48u * 1024u);
+    EXPECT_EQ(cap.threads, 1536u);
+    EXPECT_EQ(cap.ctas, 8u);
+}
+
+TEST(ResourcePool, AllocateAndFree)
+{
+    ResourcePool pool({100, 100, 100, 4});
+    EXPECT_TRUE(pool.tryAlloc({60, 10, 10, 1}));
+    EXPECT_EQ(pool.usedVec(), (ResourceVec{60, 10, 10, 1}));
+    EXPECT_FALSE(pool.tryAlloc({50, 0, 0, 1}));  // regs exhausted
+    EXPECT_EQ(pool.usedVec(), (ResourceVec{60, 10, 10, 1}));
+    pool.free({60, 10, 10, 1});
+    EXPECT_EQ(pool.usedVec(), ResourceVec{});
+    EXPECT_TRUE(pool.tryAlloc({100, 100, 100, 4}));
+}
+
+TEST(ResourcePool, FreeVec)
+{
+    ResourcePool pool({100, 100, 100, 4});
+    pool.tryAlloc({40, 50, 60, 2});
+    EXPECT_EQ(pool.freeVec(), (ResourceVec{60, 50, 40, 2}));
+}
+
+TEST(ResourcePool, CtaSlotLimitBinds)
+{
+    ResourcePool pool({1000, 1000, 1000, 2});
+    EXPECT_TRUE(pool.tryAlloc({1, 1, 1, 1}));
+    EXPECT_TRUE(pool.tryAlloc({1, 1, 1, 1}));
+    EXPECT_FALSE(pool.tryAlloc({1, 1, 1, 1}));
+}
+
+TEST(ResourcePoolDeath, OverFreePanics)
+{
+    ResourcePool pool({10, 10, 10, 1});
+    EXPECT_DEATH(pool.free({1, 0, 0, 0}), "freeing");
+}
+
+// ---- maxCtasPerSm limits (paper Section II-C: four launch limits) ----
+
+struct MaxCtaCase
+{
+    const char *name;
+    unsigned expected;
+};
+
+class BenchmarkMaxCtas : public ::testing::TestWithParam<MaxCtaCase>
+{
+};
+
+TEST_P(BenchmarkMaxCtas, MatchesHandComputedLimit)
+{
+    const GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_EQ(benchmark(GetParam().name).maxCtasPerSm(cfg),
+              GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkMaxCtas,
+    ::testing::Values(MaxCtaCase{"BLK", 8},   // CTA-slot limited
+                      MaxCtaCase{"BFS", 3},   // thread limited (512/CTA)
+                      MaxCtaCase{"DXT", 8},
+                      MaxCtaCase{"HOT", 6},   // thread limited (256/CTA)
+                      MaxCtaCase{"IMG", 8},
+                      MaxCtaCase{"KNN", 6},
+                      MaxCtaCase{"LBM", 8},   // register limited (8.03)
+                      MaxCtaCase{"MM", 8},
+                      MaxCtaCase{"MVP", 8},
+                      MaxCtaCase{"NN", 8}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(MaxCtas, LargeResourceRaisesLimits)
+{
+    const GpuConfig large = GpuConfig::largeResource();
+    // HOT: 2048 threads / 256 = 8 CTAs (was 6).
+    EXPECT_EQ(benchmark("HOT").maxCtasPerSm(large), 8u);
+    // BLK: regs 65536/3840 = 17, threads 2048/128 = 16 -> 16.
+    EXPECT_EQ(benchmark("BLK").maxCtasPerSm(large), 16u);
+}
+
+TEST(MaxCtas, AtLeastOneEvenWhenOversized)
+{
+    KernelParams k = benchmark("BFS");
+    k.blockDim = 4096;  // larger than an SM
+    EXPECT_EQ(k.maxCtasPerSm(GpuConfig::baseline()), 1u);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and mixing hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace wsl;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.range(13), 13u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) ~ 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ChanceZeroNeverFires)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(r.chance(0.0));
+}
+
+TEST(MixHash, Deterministic)
+{
+    EXPECT_EQ(mixHash(123, 456, 789), mixHash(123, 456, 789));
+}
+
+TEST(MixHash, SensitiveToEveryArgument)
+{
+    const std::uint64_t base = mixHash(1, 2, 3);
+    EXPECT_NE(base, mixHash(2, 2, 3));
+    EXPECT_NE(base, mixHash(1, 3, 3));
+    EXPECT_NE(base, mixHash(1, 2, 4));
+}
+
+TEST(MixHash, SpreadsSequentialInputs)
+{
+    // Consecutive inputs should not produce consecutive outputs.
+    std::set<std::uint64_t> buckets;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        buckets.insert(mixHash(i) % 64);
+    EXPECT_EQ(buckets.size(), 64u);
+}

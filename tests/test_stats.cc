@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the statistics structures and derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/stats.hh"
+
+using namespace wsl;
+
+TEST(Stats, StallKindNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < numStallKinds; ++i) {
+        const char *name = stallKindName(static_cast<StallKind>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::strlen(name), 0u);
+        EXPECT_TRUE(names.insert(name).second) << name;
+    }
+    EXPECT_STREQ(stallKindName(StallKind::MemLatency),
+                 "LongMemoryLatency");
+    EXPECT_STREQ(stallKindName(StallKind::IBufferEmpty),
+                 "IBufferEmpty");
+}
+
+TEST(Stats, SmStallTotalSums)
+{
+    SmStats s;
+    s.stalls[0] = 5;
+    s.stalls[2] = 7;
+    s.stalls[numStallKinds - 1] = 1;
+    EXPECT_EQ(s.stallTotal(), 13u);
+}
+
+TEST(Stats, GpuIpc)
+{
+    GpuStats g;
+    g.cycles = 1000;
+    g.warpInstsIssued = 4500;
+    EXPECT_DOUBLE_EQ(g.ipc(), 4.5);
+    g.cycles = 0;
+    EXPECT_DOUBLE_EQ(g.ipc(), 0.0);
+}
+
+TEST(Stats, L2Mpki)
+{
+    GpuStats g;
+    g.warpInstsIssued = 10000;
+    g.l2Misses = 450;
+    EXPECT_DOUBLE_EQ(g.l2Mpki(), 45.0);
+    g.warpInstsIssued = 0;
+    EXPECT_DOUBLE_EQ(g.l2Mpki(), 0.0);
+}
+
+TEST(Stats, MissRates)
+{
+    GpuStats g;
+    g.l1Accesses = 200;
+    g.l1Misses = 50;
+    g.l2Accesses = 50;
+    g.l2Misses = 10;
+    EXPECT_DOUBLE_EQ(g.l1MissRate(), 0.25);
+    EXPECT_DOUBLE_EQ(g.l2MissRate(), 0.2);
+    GpuStats empty;
+    EXPECT_DOUBLE_EQ(empty.l1MissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.l2MissRate(), 0.0);
+}
+
+TEST(Stats, CountersStartAtZero)
+{
+    const SmStats s;
+    EXPECT_EQ(s.cycles, 0u);
+    EXPECT_EQ(s.warpInstsIssued, 0u);
+    EXPECT_EQ(s.stallTotal(), 0u);
+    for (auto v : s.kernelWarpInsts)
+        EXPECT_EQ(v, 0u);
+    const GpuStats g;
+    EXPECT_EQ(g.dramBusyCycles, 0u);
+    EXPECT_EQ(g.ldstIssues, 0u);
+}

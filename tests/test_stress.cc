@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Randomized stress / property tests: long co-runs with random kernel
+ * mixes, mid-flight evictions, and quota churn, checking that resource
+ * accounting and scoreboard state stay consistent throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/policies.hh"
+#include "harness/runner.hh"
+
+using namespace wsl;
+
+namespace {
+
+const GpuConfig cfg = GpuConfig::baseline();
+
+} // namespace
+
+class RandomCoRun : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCoRun, QuotaChurnKeepsAccountingConsistent)
+{
+    Rng rng(GetParam());
+    const auto &all = allBenchmarks();
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    const KernelId k0 = gpu.launchKernel(
+        all[rng.range(all.size())], 50'000'000);
+    const KernelId k1 = gpu.launchKernel(
+        all[rng.range(all.size())], 50'000'000);
+
+    for (int step = 0; step < 40; ++step) {
+        // Random quota churn, as an adversarial version of what the
+        // dynamic policy does.
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            if (rng.chance(0.3))
+                gpu.sm(s).setQuota(k0, static_cast<int>(rng.range(9)));
+            if (rng.chance(0.3))
+                gpu.sm(s).setQuota(k1, static_cast<int>(rng.range(9)));
+        }
+        if (rng.chance(0.1))
+            for (unsigned s = 0; s < gpu.numSms(); ++s)
+                gpu.sm(s).clearQuotas();
+        gpu.run(1000);
+
+        for (unsigned s = 0; s < gpu.numSms(); ++s) {
+            const SmCore &core = gpu.sm(s);
+            // Residency never exceeds CTA slots; pool usage is within
+            // capacity in every dimension.
+            EXPECT_LE(core.totalResidentCtas(), cfg.maxCtasPerSm);
+            EXPECT_TRUE(core.pool().usedVec().fitsIn(
+                ResourceVec::capacity(cfg)));
+            const int q0 = core.quota(k0);
+            if (q0 >= 0) {
+                // Residency may exceed a lowered quota only while
+                // draining, never grow beyond it... we can at least
+                // assert it never exceeds the max possible.
+                EXPECT_LE(core.residentCtas(k0), cfg.maxCtasPerSm);
+            }
+        }
+    }
+    // Progress was made by both kernels.
+    EXPECT_GT(gpu.kernelWarpInsts(k0), 0u);
+    EXPECT_GT(gpu.kernelWarpInsts(k1), 0u);
+}
+
+TEST_P(RandomCoRun, RepeatedEvictionLeavesCleanState)
+{
+    Rng rng(GetParam() + 1000);
+    const auto &all = allBenchmarks();
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    const KernelId victim = gpu.launchKernel(
+        all[rng.range(all.size())], 1'000'000'000);
+    const KernelId survivor = gpu.launchKernel(
+        all[rng.range(all.size())], 1'000'000'000);
+    // Keep room for the survivor (worst case both kernels are BFS
+    // with 512-thread CTAs: two each still leave a free slot).
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        gpu.sm(s).setQuota(victim, 2);
+        gpu.sm(s).setQuota(survivor, 2);
+    }
+
+    for (int round = 0; round < 10; ++round) {
+        gpu.run(300 + rng.range(700));
+        for (unsigned s = 0; s < gpu.numSms(); ++s)
+            gpu.sm(s).evictKernel(victim);
+        for (unsigned s = 0; s < gpu.numSms(); ++s)
+            EXPECT_EQ(gpu.sm(s).residentCtas(victim), 0u);
+        // The dispatcher will relaunch victim CTAs next tick; run on.
+    }
+    gpu.run(2000);
+    EXPECT_GT(gpu.kernelWarpInsts(survivor), 0u);
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        EXPECT_TRUE(gpu.sm(s).pool().usedVec().fitsIn(
+            ResourceVec::capacity(cfg)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCoRun, ::testing::Range(1, 9));
+
+TEST(Stress, AllBenchmarkPairsSurviveShortDynamicRuns)
+{
+    // Every (compute x other) pairing at least starts, profiles, and
+    // decides without tripping an assertion.
+    WarpedSlicerOptions opts;
+    opts.warmup = 500;
+    opts.profileLength = 800;
+    for (const WorkloadPair &pair : evaluationPairs()) {
+        Gpu gpu(cfg, std::make_unique<WarpedSlicerPolicy>(opts));
+        gpu.launchKernel(benchmark(pair.first), 1'000'000'000);
+        gpu.launchKernel(benchmark(pair.second), 1'000'000'000);
+        gpu.run(4000);
+        EXPECT_GT(gpu.collectStats().warpInstsIssued, 0u)
+            << pair.first << "_" << pair.second;
+    }
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the event tracer: recording semantics, ring-buffer
+ * eviction, and the event streams emitted by real simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/policies.hh"
+#include "core/warped_slicer.hh"
+#include "harness/runner.hh"
+#include "trace/tracer.hh"
+
+using namespace wsl;
+
+namespace {
+
+/** RAII guard: enables the global tracer for one test. */
+struct TraceGuard
+{
+    explicit TraceGuard(std::size_t capacity = 65536)
+    {
+        Tracer::global().enable(capacity);
+    }
+    ~TraceGuard() { Tracer::global().disable(); }
+};
+
+} // namespace
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing)
+{
+    Tracer &t = Tracer::global();
+    ASSERT_FALSE(t.enabled());
+    t.record(1, TraceEvent::CtaLaunch, 0);
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(Tracer, RecordsInOrder)
+{
+    TraceGuard guard;
+    Tracer &t = Tracer::global();
+    t.record(10, TraceEvent::KernelLaunch, 0, 100);
+    t.record(20, TraceEvent::CtaLaunch, 0, 0, 3);
+    ASSERT_EQ(t.records().size(), 2u);
+    EXPECT_EQ(t.records()[0].cycle, 10u);
+    EXPECT_EQ(t.records()[1].b, 3u);
+    EXPECT_EQ(t.totalRecorded(), 2u);
+}
+
+TEST(Tracer, RingEvictsOldest)
+{
+    TraceGuard guard(3);
+    Tracer &t = Tracer::global();
+    for (unsigned i = 0; i < 5; ++i)
+        t.record(i, TraceEvent::CtaLaunch, 0, i);
+    ASSERT_EQ(t.records().size(), 3u);
+    EXPECT_EQ(t.records().front().a, 2u);  // 0 and 1 evicted
+    EXPECT_EQ(t.totalRecorded(), 5u);
+}
+
+TEST(Tracer, EventNamesDistinct)
+{
+    EXPECT_STREQ(traceEventName(TraceEvent::Decision), "decision");
+    EXPECT_STREQ(traceEventName(TraceEvent::CtaComplete),
+                 "cta_complete");
+}
+
+TEST(Tracer, PackQuotas)
+{
+    EXPECT_EQ(packQuotas({3, 5}), 3u | (5u << 8));
+    EXPECT_EQ(packQuotas({1, 2, 3, 4}),
+              1u | (2u << 8) | (3u << 16) | (4u << 24));
+    EXPECT_EQ(packQuotas({}), 0u);
+}
+
+TEST(Tracer, DumpIsOneLinePerEvent)
+{
+    TraceGuard guard;
+    Tracer::global().record(5, TraceEvent::KernelFinish, 1, 1);
+    std::ostringstream os;
+    Tracer::global().dump(os);
+    EXPECT_EQ(os.str(), "5 kernel_finish kernel=1 a=1 b=0\n");
+}
+
+TEST(Tracer, SimulationEmitsConsistentCtaLifecycle)
+{
+    TraceGuard guard(1 << 20);
+    KernelParams k = benchmark("IMG");
+    Gpu gpu(GpuConfig::baseline(), std::make_unique<LeftOverPolicy>());
+    k.gridDim = 150;
+    gpu.launchKernel(k);
+    gpu.run(2'000'000);
+    ASSERT_TRUE(gpu.allKernelsDone());
+
+    Tracer &t = Tracer::global();
+    const auto launches = t.ofKind(TraceEvent::CtaLaunch);
+    const auto completes = t.ofKind(TraceEvent::CtaComplete);
+    EXPECT_EQ(launches.size(), 150u);
+    EXPECT_EQ(completes.size(), 150u);
+    EXPECT_EQ(t.ofKind(TraceEvent::KernelLaunch).size(), 1u);
+    const auto finishes = t.ofKind(TraceEvent::KernelFinish);
+    ASSERT_EQ(finishes.size(), 1u);
+    EXPECT_EQ(finishes[0].a, 0u);  // grid completed, not halted
+    // Every completion follows its launch in time.
+    EXPECT_LE(launches.front().cycle, completes.front().cycle);
+}
+
+TEST(Tracer, DynamicPolicyEmitsProfileAndDecision)
+{
+    TraceGuard guard(1 << 20);
+    WarpedSlicerOptions opts;
+    opts.warmup = 1000;
+    opts.profileLength = 1500;
+    Gpu gpu(GpuConfig::baseline(),
+            std::make_unique<WarpedSlicerPolicy>(opts));
+    gpu.launchKernel(benchmark("IMG"), 1'000'000'000);
+    gpu.launchKernel(benchmark("NN"), 1'000'000'000);
+    gpu.run(6000);
+    Tracer &t = Tracer::global();
+    EXPECT_EQ(t.ofKind(TraceEvent::ProfileStart).size(), 1u);
+    const auto decisions = t.ofKind(TraceEvent::Decision);
+    ASSERT_GE(decisions.size(), 1u);
+    // Unpack the quotas: both kernels got at least one CTA.
+    const std::uint32_t packed = decisions[0].a;
+    if (decisions[0].b == 0) {  // intra-SM decision
+        EXPECT_GE(packed & 0xff, 1u);
+        EXPECT_GE((packed >> 8) & 0xff, 1u);
+    }
+}

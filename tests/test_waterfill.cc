@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit and property tests for Algorithm 1 (water-filling partitioning)
+ * including equivalence with the exhaustive max-min search on swept
+ * random instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/waterfill.hh"
+
+using namespace wsl;
+
+namespace {
+
+/** One-dimensional demand helper: perCta = {r,0,0,1}. */
+KernelDemand
+demand(unsigned regs_per_cta, std::vector<double> perf)
+{
+    return KernelDemand{ResourceVec{regs_per_cta, 0, 0, 1},
+                        std::move(perf)};
+}
+
+const ResourceVec cap8{32768, 48 * 1024, 1536, 8};
+
+} // namespace
+
+TEST(WaterFill, SingleKernelTakesItsPeak)
+{
+    // Monotone curve: should get all 8 CTAs.
+    const auto r = waterFill(
+        {demand(1000, {1, 2, 3, 4, 5, 6, 7, 8})}, cap8);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 8);
+    EXPECT_DOUBLE_EQ(r.normPerf[0], 1.0);
+}
+
+TEST(WaterFill, CacheSensitiveKernelStopsAtItsPeak)
+{
+    // Peak at 3 CTAs; extra CTAs would hurt, so they are never granted.
+    const auto r = waterFill(
+        {demand(1000, {1, 2, 5, 4, 3, 2, 1, 1})}, cap8);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 3);
+    EXPECT_DOUBLE_EQ(r.normPerf[0], 1.0);
+}
+
+TEST(WaterFill, TwoKernelsBalanceNormalizedLoss)
+{
+    // Kernel A is within 10% of peak at one CTA; kernel B is linear.
+    // Max-min balance gives B seven slots (0.875) rather than pulling
+    // A to its peak (which would drop B to 0.75).
+    const auto r = waterFill(
+        {demand(1000, {0.9, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}),
+         demand(1000, {1, 2, 3, 4, 5, 6, 7, 8})},
+        cap8);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 1);
+    EXPECT_EQ(r.ctas[1], 7);
+    EXPECT_DOUBLE_EQ(r.normPerf[0], 0.9);
+    EXPECT_DOUBLE_EQ(r.normPerf[1], 7.0 / 8.0);
+    EXPECT_DOUBLE_EQ(r.minNormPerf, 7.0 / 8.0);
+}
+
+TEST(WaterFill, MinimumOneCtaEach)
+{
+    const auto r = waterFill(
+        {demand(1000, {1, 2}), demand(1000, {1, 2}),
+         demand(1000, {1, 2})},
+        ResourceVec{32768, 48 * 1024, 1536, 3});
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 1);
+    EXPECT_EQ(r.ctas[1], 1);
+    EXPECT_EQ(r.ctas[2], 1);
+}
+
+TEST(WaterFill, InfeasibleWhenMinimumDoesNotFit)
+{
+    const auto r = waterFill(
+        {demand(20000, {1.0}), demand(20000, {1.0})},
+        ResourceVec{32768, 48 * 1024, 1536, 8});
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(WaterFill, RespectsEveryResourceDimension)
+{
+    // Plenty of registers but only 2 CTA slots.
+    const auto r = waterFill(
+        {demand(10, {1, 2, 3, 4}), demand(10, {1, 2, 3, 4})},
+        ResourceVec{32768, 48 * 1024, 1536, 2});
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0] + r.ctas[1], 2);
+}
+
+TEST(WaterFill, SkipsPlateausWithMultiCtaJumps)
+{
+    // Performance improves only at 1, 4, and 8 CTAs: dT jumps 3 then 4.
+    const auto r = waterFill(
+        {demand(1000, {1, 1, 1, 2, 2, 2, 2, 3}),
+         demand(1000, {1, 1, 1, 1, 1, 1, 1, 1})},
+        cap8);
+    ASSERT_TRUE(r.feasible);
+    // Kernel 1 is flat: stays at 1 CTA. Kernel 0 should jump to 4 and
+    // then cannot afford 8 (would need 8 + 1 = 9 slots): lands on 4...
+    // 4 + 1 = 5 <= 8, next jump needs T0 = 8 => 9 slots > 8.
+    EXPECT_EQ(r.ctas[1], 1);
+    EXPECT_EQ(r.ctas[0], 4);
+}
+
+TEST(WaterFill, WorstKernelIsRaisedFirst)
+{
+    // Both linear, but kernel 0 has double the per-CTA cost; max-min
+    // balance should still equalize normalized perf, favoring the
+    // cheaper kernel with leftover space.
+    const auto r = waterFill(
+        {demand(8000, {1, 2, 3, 4}), demand(1000, {1, 2, 3, 4, 5, 6})},
+        ResourceVec{32768, 48 * 1024, 1536, 8});
+    ASSERT_TRUE(r.feasible);
+    // Kernel 0: 4 CTAs = 32000 regs won't leave room; expect a split
+    // where min normalized perf is maximized.
+    const auto ex = exhaustiveSweetSpot(
+        {demand(8000, {1, 2, 3, 4}), demand(1000, {1, 2, 3, 4, 5, 6})},
+        ResourceVec{32768, 48 * 1024, 1536, 8});
+    EXPECT_NEAR(r.minNormPerf, ex.minNormPerf, 1e-9);
+}
+
+TEST(WaterFill, ZeroPerfCurveHandled)
+{
+    const auto r = waterFill(
+        {demand(1000, {0, 0, 0}), demand(1000, {1, 2, 3})}, cap8);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 1);  // degenerate kernel keeps its minimum
+}
+
+TEST(WaterFill, EmptyInput)
+{
+    const auto r = waterFill({}, cap8);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_TRUE(r.ctas.empty());
+}
+
+TEST(WaterFill, UsedResourcesAreConsistent)
+{
+    const std::vector<KernelDemand> demands = {
+        demand(3000, {1, 2, 3, 4, 5, 6, 7, 8}),
+        demand(5000, {2, 3, 3.5, 3.6, 3.6, 3.6, 3.6, 3.6})};
+    const auto r = waterFill(demands, cap8);
+    ASSERT_TRUE(r.feasible);
+    ResourceVec expect;
+    for (std::size_t i = 0; i < demands.size(); ++i)
+        expect = expect + demands[i].perCta.scaled(r.ctas[i]);
+    EXPECT_EQ(r.used, expect);
+    EXPECT_TRUE(r.used.fitsIn(cap8));
+}
+
+TEST(ExhaustiveSweetSpot, MatchesHandExample)
+{
+    // The paper's Figure 3b example: IMG-like rising curve vs NN-like
+    // peaked curve; a 60/40-ish split should beat even split.
+    const std::vector<KernelDemand> demands = {
+        demand(2000, {0.2, 0.4, 0.55, 0.7, 0.82, 0.9, 0.96, 1.0}),
+        demand(2000, {0.5, 0.9, 1.0, 0.97, 0.95, 0.9, 0.85, 0.8})};
+    const auto ex = exhaustiveSweetSpot(demands, cap8);
+    ASSERT_TRUE(ex.feasible);
+    EXPECT_EQ(ex.ctas[0] + ex.ctas[1], 8);
+    EXPECT_GT(ex.ctas[0], 4);  // the rising kernel needs more
+    const auto wf = waterFill(demands, cap8);
+    EXPECT_EQ(wf.ctas, ex.ctas);
+}
+
+// ---- Property sweep: waterFill == exhaustive on random instances ----
+
+class WaterFillRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WaterFillRandom, AchievesExhaustiveObjective)
+{
+    Rng rng(GetParam());
+    const unsigned num_kernels = 2 + rng.range(2);  // 2..3
+    std::vector<KernelDemand> demands;
+    for (unsigned k = 0; k < num_kernels; ++k) {
+        const unsigned n = 3 + rng.range(6);  // 3..8 CTA points
+        std::vector<double> perf;
+        double level = rng.uniform();
+        for (unsigned j = 0; j < n; ++j) {
+            // Random walk with occasional declines (cache-like).
+            level += rng.uniform() - 0.3;
+            perf.push_back(std::max(0.05, level));
+        }
+        KernelDemand d;
+        d.perCta = ResourceVec{
+            static_cast<unsigned>(500 + rng.range(5000)),
+            static_cast<unsigned>(rng.range(8000)),
+            static_cast<unsigned>(64 + rng.range(448)), 1};
+        d.perf = perf;
+        demands.push_back(d);
+    }
+    const auto wf = waterFill(demands, cap8);
+    const auto ex = exhaustiveSweetSpot(demands, cap8);
+    ASSERT_EQ(wf.feasible, ex.feasible);
+    if (!wf.feasible)
+        return;
+    // The greedy water-filling is provably optimal for the max-min
+    // objective over the monotone hull; it must match the exhaustive
+    // search's objective value.
+    EXPECT_NEAR(wf.minNormPerf, ex.minNormPerf, 1e-9)
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterFillRandom,
+                         ::testing::Range(1, 41));
+
+TEST(WaterFill, LargeInstanceIsFast)
+{
+    // O(K*N): 4 kernels x 32 CTA levels must run instantly.
+    std::vector<KernelDemand> demands;
+    for (int k = 0; k < 4; ++k) {
+        std::vector<double> perf;
+        for (int j = 0; j < 32; ++j)
+            perf.push_back(j + 1);
+        demands.push_back(
+            KernelDemand{ResourceVec{256, 0, 32, 1}, perf});
+    }
+    const auto r =
+        waterFill(demands, ResourceVec{65536, 98304, 2048, 32});
+    ASSERT_TRUE(r.feasible);
+    int total = 0;
+    for (int t : r.ctas)
+        total += t;
+    EXPECT_LE(total, 32);
+    EXPECT_GE(total, 29);  // nearly all slots spent
+}
+
+// ---- Shared-resource budget constraints (interference extension) ----
+
+TEST(WaterFillBudget, BandwidthCurveLimitsAllocation)
+{
+    // Kernel 0 is a streaming kernel whose bandwidth demand grows with
+    // CTAs; the budget stops it mid-curve even though slots remain.
+    KernelDemand mem = demand(1000, {1, 2, 3, 4, 5, 6, 7, 8});
+    mem.bwCurve = {0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08};
+    KernelDemand cpu = demand(1000, {1, 2, 3, 4});
+    const auto r = waterFill({mem, cpu}, cap8, 0.045);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.ctas[0], 4);  // 5 CTAs would need 0.05 > 0.045
+    EXPECT_EQ(r.ctas[1], 4);  // unconstrained kernel fills up
+}
+
+TEST(WaterFillBudget, BudgetSharedAcrossKernels)
+{
+    KernelDemand a = demand(1000, {1, 2, 3, 4, 5, 6, 7, 8});
+    a.bwCurve = {0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16};
+    KernelDemand b = a;
+    const auto r = waterFill({a, b}, cap8, 0.12);
+    ASSERT_TRUE(r.feasible);
+    // Combined demand at (T0,T1) must stay within 0.12.
+    const double used = 0.02 * r.ctas[0] + 0.02 * r.ctas[1];
+    EXPECT_LE(used, 0.12 + 1e-9);
+    EXPECT_GE(r.ctas[0] + r.ctas[1], 5);  // budget mostly spent
+}
+
+TEST(WaterFillBudget, MinimumAllocationIgnoresBudget)
+{
+    // Even when one CTA each already exceeds the budget, every kernel
+    // keeps its guaranteed minimum.
+    KernelDemand a = demand(1000, {1, 2});
+    a.bwCurve = {0.5, 1.0};
+    KernelDemand b = a;
+    const auto r = waterFill({a, b}, cap8, 0.1);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 1);
+    EXPECT_EQ(r.ctas[1], 1);
+}
+
+TEST(WaterFillBudget, AluCurveConstrains)
+{
+    KernelDemand hot = demand(1000, {1, 2, 3, 4, 5, 6, 7, 8});
+    hot.aluCurve = {0.3, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4};
+    KernelDemand cool = demand(1000, {1, 2, 3, 4});
+    cool.aluCurve = {0.1, 0.2, 0.3, 0.4};
+    const auto r = waterFill({hot, cool}, cap8, 0.0, 1.9);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(hot.aluCurve[r.ctas[0] - 1] +
+                  cool.aluCurve[r.ctas[1] - 1],
+              1.9 + 1e-9);
+}
+
+TEST(WaterFillBudget, ZeroBudgetsDisableConstraints)
+{
+    KernelDemand a = demand(1000, {1, 2, 3, 4, 5, 6, 7, 8});
+    a.bwCurve = {1, 2, 3, 4, 5, 6, 7, 8};
+    a.aluCurve = a.bwCurve;
+    const auto r = waterFill({a}, cap8, 0.0, 0.0);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.ctas[0], 8);
+}

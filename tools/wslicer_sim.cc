@@ -1,0 +1,355 @@
+/**
+ * @file
+ * wslicer-sim: command-line driver for the simulator.
+ *
+ *   wslicer-sim list
+ *       List the available benchmark kernels and their parameters.
+ *
+ *   wslicer-sim solo BENCH [--cycles N] [--ctas Q] [--large]
+ *       Run one benchmark in isolation and dump its statistics.
+ *
+ *   wslicer-sim curves BENCH [--cycles N] [--large]
+ *       Print the performance-vs-CTA-occupancy curve (Figure 3a).
+ *
+ *   wslicer-sim corun BENCH1 BENCH2 [BENCH3]
+ *       [--policy leftover|spatial|even|dynamic|fixed:Q1,Q2[,Q3]]
+ *       [--window N] [--sched gto|lrr] [--large]
+ *       Co-run benchmarks under a multiprogramming policy using the
+ *       paper's instruction-target methodology.
+ *
+ *   wslicer-sim combos BENCH1 BENCH2 [--window N]
+ *       Exhaustively evaluate every feasible CTA partition (the
+ *       oracle's search space).
+ *
+ * Global options: --csv FILE | --json FILE write the result table to a
+ * file in addition to the text output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "harness/runner.hh"
+#include "report/table.hh"
+#include "trace/tracer.hh"
+
+using namespace wsl;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::vector<std::string> benchNames;
+    Cycle cycles = 0;      // 0 = defaultWindow()
+    int ctas = -1;
+    std::string policy = "dynamic";
+    SchedulerKind sched = SchedulerKind::Gto;
+    bool large = false;
+    std::string csvPath;
+    std::string jsonPath;
+    std::string tracePath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s list | solo BENCH | curves BENCH | "
+                 "corun B1 B2 [B3] | combos B1 B2 [options]\n"
+                 "options: --cycles N --window N --ctas Q --large\n"
+                 "         --policy leftover|spatial|even|dynamic|"
+                 "fixed:Q1,Q2[,Q3]\n"
+                 "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+    Options opt;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--cycles" || arg == "--window")
+            opt.cycles = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--ctas")
+            opt.ctas = std::atoi(next().c_str());
+        else if (arg == "--policy")
+            opt.policy = next();
+        else if (arg == "--sched")
+            opt.sched = next() == "lrr" ? SchedulerKind::Lrr
+                                        : SchedulerKind::Gto;
+        else if (arg == "--large")
+            opt.large = true;
+        else if (arg == "--trace")
+            opt.tracePath = next();
+        else if (arg == "--csv")
+            opt.csvPath = next();
+        else if (arg == "--json")
+            opt.jsonPath = next();
+        else if (!arg.empty() && arg[0] == '-')
+            usage(argv[0]);
+        else
+            opt.benchNames.push_back(arg);
+    }
+    return opt;
+}
+
+GpuConfig
+makeConfig(const Options &opt)
+{
+    GpuConfig cfg = opt.large ? GpuConfig::largeResource()
+                              : GpuConfig::baseline();
+    cfg.scheduler = opt.sched;
+    return cfg;
+}
+
+void
+emit(const Options &opt, const Table &table)
+{
+    table.writeText(std::cout);
+    if (!opt.csvPath.empty()) {
+        std::ofstream os(opt.csvPath);
+        if (!os)
+            fatal("cannot open ", opt.csvPath);
+        table.writeCsv(os);
+        std::printf("(wrote %s)\n", opt.csvPath.c_str());
+    }
+    if (!opt.jsonPath.empty()) {
+        std::ofstream os(opt.jsonPath);
+        if (!os)
+            fatal("cannot open ", opt.jsonPath);
+        table.writeJson(os);
+        std::printf("(wrote %s)\n", opt.jsonPath.c_str());
+    }
+}
+
+int
+cmdList(const Options &opt)
+{
+    Table table({"name", "class", "grid", "block", "regs/thread",
+                 "shm/CTA", "max CTAs/SM"});
+    const GpuConfig cfg = makeConfig(opt);
+    for (const KernelParams &k : allBenchmarks()) {
+        table.addRow({k.name, appClassName(k.cls),
+                      std::to_string(k.gridDim),
+                      std::to_string(k.blockDim),
+                      std::to_string(k.regsPerThread),
+                      std::to_string(k.shmPerCta),
+                      std::to_string(k.maxCtasPerSm(cfg))});
+    }
+    emit(opt, table);
+    return 0;
+}
+
+int
+cmdSolo(const Options &opt)
+{
+    if (opt.benchNames.size() != 1)
+        usage("wslicer-sim");
+    const GpuConfig cfg = makeConfig(opt);
+    const Cycle cycles = opt.cycles ? opt.cycles : defaultWindow();
+    const SoloResult r = runSoloForCycles(benchmark(opt.benchNames[0]),
+                                          cfg, cycles, opt.ctas);
+    Table table({"metric", "value"});
+    table.addRow({"benchmark", opt.benchNames[0]});
+    table.addRow({"warp_ipc", Table::num(r.warpIpc())});
+    for (const auto &[name, value] : flattenStats(r.stats))
+        table.addRow({name, Table::num(value)});
+    emit(opt, table);
+    return 0;
+}
+
+int
+cmdCurves(const Options &opt)
+{
+    if (opt.benchNames.size() != 1)
+        usage("wslicer-sim");
+    const GpuConfig cfg = makeConfig(opt);
+    const Cycle cycles =
+        opt.cycles ? opt.cycles : defaultWindow() / 2;
+    const KernelParams &k = benchmark(opt.benchNames[0]);
+    Table table({"ctas_per_sm", "occupancy_pct", "warp_ipc",
+                 "normalized"});
+    std::vector<double> ipcs;
+    const unsigned max_ctas = k.maxCtasPerSm(cfg);
+    double peak = 0.0;
+    for (unsigned q = 1; q <= max_ctas; ++q) {
+        const SoloResult r = runSoloForCycles(k, cfg, cycles,
+                                              static_cast<int>(q));
+        ipcs.push_back(r.warpIpc());
+        peak = std::max(peak, r.warpIpc());
+    }
+    for (unsigned q = 1; q <= max_ctas; ++q) {
+        table.addRow({std::to_string(q),
+                      std::to_string(100 * q / max_ctas),
+                      Table::num(ipcs[q - 1]),
+                      Table::num(peak > 0 ? ipcs[q - 1] / peak : 0)});
+    }
+    emit(opt, table);
+    return 0;
+}
+
+std::optional<std::vector<int>>
+parseFixedPolicy(const std::string &policy, std::size_t num_apps)
+{
+    if (policy.rfind("fixed:", 0) != 0)
+        return std::nullopt;
+    std::vector<int> quotas;
+    std::string rest = policy.substr(6);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        const std::string tok =
+            rest.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        quotas.push_back(std::atoi(tok.c_str()));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (quotas.size() != num_apps)
+        fatal("fixed: needs one quota per benchmark");
+    return quotas;
+}
+
+int
+cmdCorun(const Options &opt)
+{
+    if (opt.benchNames.size() < 2 || opt.benchNames.size() > 3)
+        usage("wslicer-sim");
+    const GpuConfig cfg = makeConfig(opt);
+    const Cycle window = opt.cycles ? opt.cycles : defaultWindow();
+    Characterization chars(cfg, window);
+
+    std::vector<KernelParams> apps;
+    std::vector<std::uint64_t> targets;
+    for (const std::string &name : opt.benchNames) {
+        apps.push_back(benchmark(name));
+        targets.push_back(chars.target(name));
+    }
+
+    CoRunOptions co;
+    co.slicer = scaledSlicerOptions(window);
+    PolicyKind kind = PolicyKind::Dynamic;
+    if (const auto fixed = parseFixedPolicy(opt.policy, apps.size())) {
+        co.fixedQuotas = *fixed;
+        kind = PolicyKind::LeftOver;
+    } else if (opt.policy == "leftover") {
+        kind = PolicyKind::LeftOver;
+    } else if (opt.policy == "spatial") {
+        kind = PolicyKind::Spatial;
+    } else if (opt.policy == "even") {
+        kind = PolicyKind::Even;
+    } else if (opt.policy == "dynamic") {
+        kind = PolicyKind::Dynamic;
+    } else {
+        fatal("unknown policy: ", opt.policy);
+    }
+
+    CoRunResult r = runCoSchedule(apps, targets, kind, cfg, co);
+    Table table({"metric", "value"});
+    table.addRow({"policy", opt.policy});
+    table.addRow({"completed", r.completed ? "yes" : "no"});
+    table.addRow({"makespan_cycles", std::to_string(r.makespan)});
+    table.addRow({"system_ipc", Table::num(r.sysIpc)});
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const std::string &name = opt.benchNames[i];
+        r.apps[i].aloneCycles = chars.aloneCycles(name);
+        table.addRow({name + "_finish_cycles",
+                      std::to_string(r.apps[i].cycles)});
+        table.addRow({name + "_speedup_vs_alone",
+                      Table::num(speedup(r.apps[i]))});
+    }
+    table.addRow({"fairness_min_speedup",
+                  Table::num(minimumSpeedup(r.apps))});
+    table.addRow({"antt", Table::num(antt(r.apps))});
+    if (!r.chosenCtas.empty()) {
+        std::string ctas;
+        for (int t : r.chosenCtas)
+            ctas += (ctas.empty() ? "" : ",") + std::to_string(t);
+        table.addRow({"dynamic_partition",
+                      r.spatialFallback ? "spatial-fallback" : ctas});
+    }
+    emit(opt, table);
+    return 0;
+}
+
+int
+cmdCombos(const Options &opt)
+{
+    if (opt.benchNames.size() != 2)
+        usage("wslicer-sim");
+    const GpuConfig cfg = makeConfig(opt);
+    const Cycle window = opt.cycles ? opt.cycles : defaultWindow() / 2;
+    Characterization chars(cfg, window);
+    std::vector<KernelParams> apps = {benchmark(opt.benchNames[0]),
+                                      benchmark(opt.benchNames[1])};
+    std::vector<std::uint64_t> targets = {
+        chars.target(opt.benchNames[0]),
+        chars.target(opt.benchNames[1])};
+    const CoRunResult base =
+        runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
+
+    Table table({"ctas_0", "ctas_1", "system_ipc", "vs_leftover"});
+    for (const auto &combo : enumerateFeasibleCombos(apps, cfg)) {
+        CoRunOptions co;
+        co.fixedQuotas = combo;
+        const CoRunResult r = runCoSchedule(
+            apps, targets, PolicyKind::LeftOver, cfg, co);
+        table.addRow({std::to_string(combo[0]),
+                      std::to_string(combo[1]),
+                      Table::num(r.sysIpc),
+                      Table::num(r.sysIpc / base.sysIpc)});
+    }
+    emit(opt, table);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    if (!opt.tracePath.empty())
+        Tracer::global().enable(1 << 20);
+    int rc = 2;
+    if (opt.command == "list")
+        rc = cmdList(opt);
+    else if (opt.command == "solo")
+        rc = cmdSolo(opt);
+    else if (opt.command == "curves")
+        rc = cmdCurves(opt);
+    else if (opt.command == "corun")
+        rc = cmdCorun(opt);
+    else if (opt.command == "combos")
+        rc = cmdCombos(opt);
+    else
+        usage(argv[0]);
+    if (!opt.tracePath.empty()) {
+        std::ofstream os(opt.tracePath);
+        if (!os)
+            fatal("cannot open ", opt.tracePath);
+        Tracer::global().dump(os);
+        std::printf("(wrote %s, %llu events)\n", opt.tracePath.c_str(),
+                    static_cast<unsigned long long>(
+                        Tracer::global().totalRecorded()));
+    }
+    return rc;
+}
