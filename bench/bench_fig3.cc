@@ -65,10 +65,12 @@ main()
     std::printf("\nFigure 3b: sweet-spot identification for IMG + NN\n");
     const KernelParams &img = benchmark("IMG");
     const KernelParams &nn = benchmark("NN");
-    KernelDemand d_img{ResourceVec::ofCta(img),
-                       occupancyCurve(img, cfg, window)};
-    KernelDemand d_nn{ResourceVec::ofCta(nn),
-                      occupancyCurve(nn, cfg, window)};
+    KernelDemand d_img;
+    d_img.perCta = ResourceVec::ofCta(img);
+    d_img.perf = occupancyCurve(img, cfg, window);
+    KernelDemand d_nn;
+    d_nn.perCta = ResourceVec::ofCta(nn);
+    d_nn.perf = occupancyCurve(nn, cfg, window);
 
     double img_peak = 0.0, nn_peak = 0.0;
     for (double v : d_img.perf)

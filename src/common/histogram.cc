@@ -1,0 +1,51 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+namespace wsl {
+
+double
+Histogram::mean() const
+{
+    return samples ? static_cast<double>(sum) / samples : 0.0;
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (empty())
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(samples);
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) >= target && buckets[i])
+            return std::clamp(bucketHigh(i), minSeen, maxSeen);
+    }
+    return maxSeen;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (unsigned i = 0; i < numBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    samples += other.samples;
+    sum += other.sum;
+    minSeen = std::min(minSeen, other.minSeen);
+    maxSeen = std::max(maxSeen, other.maxSeen);
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    for (unsigned i = 0; i < numBuckets; ++i) {
+        if (!buckets[i])
+            continue;
+        os << bucketLow(i) << ".." << bucketHigh(i) << " "
+           << buckets[i] << "\n";
+    }
+}
+
+} // namespace wsl

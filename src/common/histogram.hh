@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reusable log2-bucket histogram for latency and queue-depth
+ * distributions. Bucket i >= 1 covers values in [2^(i-1), 2^i - 1];
+ * bucket 0 holds exact zeros, so small integer depths stay resolvable.
+ * Recording is a bit_width plus an increment — cheap enough for
+ * per-event telemetry paths.
+ */
+
+#ifndef WSL_COMMON_HISTOGRAM_HH
+#define WSL_COMMON_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <ostream>
+
+namespace wsl {
+
+class Histogram
+{
+  public:
+    /** Bucket 0 plus one bucket per possible bit width of a uint64. */
+    static constexpr unsigned numBuckets = 65;
+
+    void
+    record(std::uint64_t value, std::uint64_t count = 1)
+    {
+        buckets[bucketOf(value)] += count;
+        samples += count;
+        sum += value * count;
+        if (value < minSeen)
+            minSeen = value;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+
+    /** Bucket index a value falls into. */
+    static constexpr unsigned
+    bucketOf(std::uint64_t value)
+    {
+        return static_cast<unsigned>(std::bit_width(value));
+    }
+
+    /** Smallest value bucket `i` covers. */
+    static constexpr std::uint64_t
+    bucketLow(unsigned i)
+    {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Largest value bucket `i` covers. */
+    static constexpr std::uint64_t
+    bucketHigh(unsigned i)
+    {
+        return i == 0 ? 0
+               : i >= 64
+                   ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << i) - 1;
+    }
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets[i]; }
+    std::uint64_t count() const { return samples; }
+    std::uint64_t total() const { return sum; }
+    bool empty() const { return samples == 0; }
+    std::uint64_t min() const { return empty() ? 0 : minSeen; }
+    std::uint64_t max() const { return empty() ? 0 : maxSeen; }
+    double mean() const;
+
+    /**
+     * Approximate p-th percentile (0 < p <= 1): the upper bound of the
+     * first bucket at which the cumulative count reaches p, clamped to
+     * the observed min/max so single-bucket histograms stay exact.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Element-wise combine (e.g. the same metric across SMs). */
+    void merge(const Histogram &other);
+
+    void reset() { *this = Histogram{}; }
+
+    /** One "low..high count" line per populated bucket. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets{};
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t minSeen = ~std::uint64_t{0};
+    std::uint64_t maxSeen = 0;
+};
+
+} // namespace wsl
+
+#endif // WSL_COMMON_HISTOGRAM_HH

@@ -1,7 +1,13 @@
 /**
  * @file
  * Statistics counters. Plain structs of named counters, sampled and
- * diffed by the profiler and the experiment harness.
+ * diffed by the profiler, the telemetry sampler, and the experiment
+ * harness.
+ *
+ * Each struct publishes its counter fields once through a static
+ * forEachField() visitor; aggregation (Gpu::collectStats), interval
+ * deltas (TelemetrySampler), and compaction all iterate that single
+ * list, so a counter added here aggregates everywhere automatically.
  */
 
 #ifndef WSL_COMMON_STATS_HH
@@ -75,7 +81,62 @@ struct SmStats
     std::uint64_t ifetches = 0;
     std::uint64_t ifetchMisses = 0;
 
+    // Telemetry attribution (populated only while a sampler is
+    // attached). Kept at the tail so the per-cycle counters above stay
+    // packed in few cache lines.
+
+    /**
+     * Stall cycles additionally attributed to the resident kernel that
+     * caused them (the kernel whose warps dominated the charged stall
+     * reason). For every kind,
+     *   stalls[kind] == sum_k kernelStalls[k][kind]
+     *                   + unattributedStalls[kind];
+     * Idle cycles (no resident warps) are always unattributed.
+     */
+    std::array<std::array<std::uint64_t, numStallKinds>,
+               maxConcurrentKernels>
+        kernelStalls{};
+    std::array<std::uint64_t, numStallKinds> unattributedStalls{};
+    /** LDST busy cycles attributed to the kernel whose access last
+     *  occupied the unit (sums to <= ldstBusyCycles: cycles before the
+     *  first memory instruction stay unattributed). */
+    std::array<std::uint64_t, maxConcurrentKernels>
+        kernelLdstBusyCycles{};
+
     std::uint64_t stallTotal() const;
+
+    /** Visit every counter field exactly once (see file comment). */
+    template <typename F>
+    static void
+    forEachField(F &&f)
+    {
+        f("cycles", &SmStats::cycles);
+        f("warp_insts", &SmStats::warpInstsIssued);
+        f("thread_insts", &SmStats::threadInstsIssued);
+        f("kernel_warp_insts", &SmStats::kernelWarpInsts);
+        f("kernel_thread_insts", &SmStats::kernelThreadInsts);
+        f("stalls", &SmStats::stalls);
+        f("kernel_stalls", &SmStats::kernelStalls);
+        f("unattributed_stalls", &SmStats::unattributedStalls);
+        f("alu_busy_cycles", &SmStats::aluBusyCycles);
+        f("sfu_busy_cycles", &SmStats::sfuBusyCycles);
+        f("ldst_busy_cycles", &SmStats::ldstBusyCycles);
+        f("kernel_ldst_busy_cycles", &SmStats::kernelLdstBusyCycles);
+        f("ldst_issues", &SmStats::ldstIssues);
+        f("regs_allocated_integral", &SmStats::regsAllocatedIntegral);
+        f("shm_allocated_integral", &SmStats::shmAllocatedIntegral);
+        f("threads_allocated_integral",
+          &SmStats::threadsAllocatedIntegral);
+        f("l1_accesses", &SmStats::l1Accesses);
+        f("l1_misses", &SmStats::l1Misses);
+        f("shm_accesses", &SmStats::shmAccesses);
+        f("reg_reads", &SmStats::regReads);
+        f("reg_writes", &SmStats::regWrites);
+        f("ctas_launched", &SmStats::ctasLaunched);
+        f("ctas_completed", &SmStats::ctasCompleted);
+        f("ifetches", &SmStats::ifetches);
+        f("ifetch_misses", &SmStats::ifetchMisses);
+    }
 };
 
 /** Per-memory-partition counters. */
@@ -88,39 +149,85 @@ struct PartitionStats
     std::uint64_t dramRowHits = 0;
     std::uint64_t dramRowMisses = 0;
     std::uint64_t dramBusyCycles = 0;  //!< data-bus busy cycles
+
+    template <typename F>
+    static void
+    forEachField(F &&f)
+    {
+        f("l2_accesses", &PartitionStats::l2Accesses);
+        f("l2_misses", &PartitionStats::l2Misses);
+        f("dram_reads", &PartitionStats::dramReads);
+        f("dram_writes", &PartitionStats::dramWrites);
+        f("dram_row_hits", &PartitionStats::dramRowHits);
+        f("dram_row_misses", &PartitionStats::dramRowMisses);
+        f("dram_busy_cycles", &PartitionStats::dramBusyCycles);
+    }
 };
 
-/** Whole-GPU aggregates, updated by Gpu::collectStats(). */
-struct GpuStats
-{
-    std::uint64_t cycles = 0;
-    std::uint64_t warpInstsIssued = 0;
-    std::uint64_t threadInstsIssued = 0;
-    std::array<std::uint64_t, maxConcurrentKernels> kernelWarpInsts{};
-    std::array<std::uint64_t, maxConcurrentKernels> kernelThreadInsts{};
-    std::array<std::uint64_t, numStallKinds> stalls{};
-    std::uint64_t aluBusyCycles = 0;
-    std::uint64_t sfuBusyCycles = 0;
-    std::uint64_t ldstBusyCycles = 0;
-    std::uint64_t ldstIssues = 0;
-    std::uint64_t regsAllocatedIntegral = 0;
-    std::uint64_t shmAllocatedIntegral = 0;
-    std::uint64_t threadsAllocatedIntegral = 0;
-    std::uint64_t l1Accesses = 0;
-    std::uint64_t l1Misses = 0;
-    std::uint64_t shmAccesses = 0;
-    std::uint64_t regReads = 0;
-    std::uint64_t regWrites = 0;
-    std::uint64_t l2Accesses = 0;
-    std::uint64_t l2Misses = 0;
-    std::uint64_t dramReads = 0;
-    std::uint64_t dramWrites = 0;
-    std::uint64_t dramRowHits = 0;
-    std::uint64_t dramRowMisses = 0;
-    std::uint64_t dramBusyCycles = 0;
-    std::uint64_t ifetches = 0;
-    std::uint64_t ifetchMisses = 0;
+namespace stats_detail {
 
+inline void
+addCounter(std::uint64_t &dst, std::uint64_t src)
+{
+    dst += src;
+}
+
+inline void
+subCounter(std::uint64_t &dst, std::uint64_t src)
+{
+    dst -= src;
+}
+
+template <typename T, std::size_t N>
+void
+addCounter(std::array<T, N> &dst, const std::array<T, N> &src)
+{
+    for (std::size_t i = 0; i < N; ++i)
+        addCounter(dst[i], src[i]);
+}
+
+template <typename T, std::size_t N>
+void
+subCounter(std::array<T, N> &dst, const std::array<T, N> &src)
+{
+    for (std::size_t i = 0; i < N; ++i)
+        subCounter(dst[i], src[i]);
+}
+
+} // namespace stats_detail
+
+/**
+ * dst += src for every counter published by S::forEachField. Dst/Src
+ * may be S itself or any type derived from it (e.g. GpuStats for its
+ * SmStats and PartitionStats parts).
+ */
+template <typename S, typename Dst, typename Src>
+void
+accumulateStats(Dst &dst, const Src &src)
+{
+    S::forEachField([&](const char *, auto member) {
+        stats_detail::addCounter(dst.*member, src.*member);
+    });
+}
+
+/** dst -= src for every counter published by S::forEachField. */
+template <typename S, typename Dst, typename Src>
+void
+subtractStats(Dst &dst, const Src &src)
+{
+    S::forEachField([&](const char *, auto member) {
+        stats_detail::subCounter(dst.*member, src.*member);
+    });
+}
+
+/**
+ * Whole-GPU aggregates, updated by Gpu::collectStats(). Inherits one
+ * copy of every SM counter and every partition counter (the two field
+ * sets are disjoint), so the counter list is written exactly once;
+ * `cycles` holds the global simulation cycle, not the per-SM sum.
+ */
+struct GpuStats : SmStats, PartitionStats
+{
     /** Warp instructions per GPU cycle. */
     double ipc() const;
     /** L2 misses per thousand warp instructions (Table II "L2 MPKI"). */

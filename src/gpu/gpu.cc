@@ -1,6 +1,7 @@
 #include "gpu/gpu.hh"
 
 #include "common/log.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
 namespace wsl {
@@ -29,6 +30,7 @@ Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
     inst->baseAddr = (static_cast<Addr>(inst->id) + 1) << 36;
     inst->instTarget = inst_target;
     inst->launchCycle = now;
+    Tracer::global().setKernelName(inst->id, params.name);
     Tracer::global().record(now, TraceEvent::KernelLaunch, inst->id,
                             params.gridDim);
     kernels.push_back(std::move(inst));
@@ -152,6 +154,20 @@ Gpu::tick()
     drainCtaEvents();
     checkKernelProgress();
     ++now;
+    if (telem)
+        telem->onCycleEnd(*this);
+}
+
+void
+Gpu::attachTelemetry(TelemetrySampler *sampler)
+{
+    telem = sampler && sampler->enabled() ? sampler : nullptr;
+    for (auto &sm_ptr : sms)
+        sm_ptr->setTelemetryRecording(telem != nullptr);
+    for (auto &part : partitions)
+        part->setTelemetryRecording(telem != nullptr);
+    if (telem)
+        telem->bind(*this);
 }
 
 void
@@ -195,42 +211,13 @@ GpuStats
 Gpu::collectStats() const
 {
     GpuStats g;
+    for (const auto &sm_ptr : sms)
+        accumulateStats<SmStats>(g, sm_ptr->stats());
+    for (const auto &part : partitions)
+        accumulateStats<PartitionStats>(g, part->stats());
+    // The per-SM sum of `cycles` is meaningless GPU-wide; report the
+    // global simulation clock instead.
     g.cycles = now;
-    for (const auto &sm_ptr : sms) {
-        const SmStats &s = sm_ptr->stats();
-        g.warpInstsIssued += s.warpInstsIssued;
-        g.threadInstsIssued += s.threadInstsIssued;
-        for (unsigned k = 0; k < maxConcurrentKernels; ++k) {
-            g.kernelWarpInsts[k] += s.kernelWarpInsts[k];
-            g.kernelThreadInsts[k] += s.kernelThreadInsts[k];
-        }
-        for (unsigned i = 0; i < numStallKinds; ++i)
-            g.stalls[i] += s.stalls[i];
-        g.aluBusyCycles += s.aluBusyCycles;
-        g.sfuBusyCycles += s.sfuBusyCycles;
-        g.ldstBusyCycles += s.ldstBusyCycles;
-        g.ldstIssues += s.ldstIssues;
-        g.regsAllocatedIntegral += s.regsAllocatedIntegral;
-        g.shmAllocatedIntegral += s.shmAllocatedIntegral;
-        g.threadsAllocatedIntegral += s.threadsAllocatedIntegral;
-        g.l1Accesses += s.l1Accesses;
-        g.l1Misses += s.l1Misses;
-        g.shmAccesses += s.shmAccesses;
-        g.regReads += s.regReads;
-        g.regWrites += s.regWrites;
-        g.ifetches += s.ifetches;
-        g.ifetchMisses += s.ifetchMisses;
-    }
-    for (const auto &part : partitions) {
-        const PartitionStats p = part->stats();
-        g.l2Accesses += p.l2Accesses;
-        g.l2Misses += p.l2Misses;
-        g.dramReads += p.dramReads;
-        g.dramWrites += p.dramWrites;
-        g.dramRowHits += p.dramRowHits;
-        g.dramRowMisses += p.dramRowMisses;
-        g.dramBusyCycles += p.dramBusyCycles;
-    }
     return g;
 }
 

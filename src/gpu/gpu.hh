@@ -20,6 +20,8 @@
 
 namespace wsl {
 
+class TelemetrySampler;
+
 /**
  * The simulated GPU. Construct, launch kernels, then tick (or run()).
  * The policy owns all partitioning decisions; the GPU provides the
@@ -62,6 +64,10 @@ class Gpu
     const GpuConfig &config() const { return cfg; }
     SlicingPolicy &slicingPolicy() { return *policy; }
     MemPartition &partition(unsigned i) { return *partitions[i]; }
+    const MemPartition &partition(unsigned i) const
+    {
+        return *partitions[i];
+    }
     unsigned numPartitions() const
     {
         return static_cast<unsigned>(partitions.size());
@@ -75,6 +81,15 @@ class Gpu
     /** Aggregate counters over all SMs and partitions. */
     GpuStats collectStats() const;
 
+    /**
+     * Attach (or with nullptr, detach) an interval telemetry sampler.
+     * Attaching also switches on the latency/queue-depth histogram
+     * recording in every SM and memory partition. With no sampler
+     * attached the per-tick cost is a single null-pointer branch.
+     */
+    void attachTelemetry(TelemetrySampler *sampler);
+    TelemetrySampler *telemetry() const { return telem; }
+
   private:
     void dispatch();
     void routeMemory();
@@ -86,6 +101,7 @@ class Gpu
     std::vector<std::unique_ptr<SmCore>> sms;
     std::vector<std::unique_ptr<MemPartition>> partitions;
     std::vector<std::unique_ptr<KernelInstance>> kernels;
+    TelemetrySampler *telem = nullptr;
     Cycle now = 0;
 };
 

@@ -1,10 +1,14 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "common/log.hh"
 #include "core/policies.hh"
+#include "telemetry/telemetry.hh"
 
 namespace wsl {
 
@@ -39,12 +43,38 @@ makePolicy(PolicyKind kind, const WarpedSlicerOptions &slicer_opts)
 Cycle
 defaultWindow()
 {
-    if (const char *env = std::getenv("WSL_WINDOW")) {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            return static_cast<Cycle>(v);
+    constexpr Cycle fallback = 50000;
+    const char *env = std::getenv("WSL_WINDOW");
+    if (!env || !*env)
+        return fallback;
+    // Parse strictly: a decimal cycle count, nothing else. strtoull
+    // skips whitespace and wraps negative input, so require the first
+    // character to already be a digit.
+    if (!std::isdigit(static_cast<unsigned char>(*env))) {
+        warn("WSL_WINDOW='", env, "' must be a positive cycle count; ",
+             "using default ", fallback);
+        return fallback;
     }
-    return 50000;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("WSL_WINDOW='", env, "' is not a number; using default ",
+             fallback);
+        return fallback;
+    }
+    if (errno == ERANGE || v > static_cast<unsigned long long>(
+                                   std::numeric_limits<Cycle>::max())) {
+        warn("WSL_WINDOW='", env, "' overflows; using default ",
+             fallback);
+        return fallback;
+    }
+    if (v == 0) {
+        warn("WSL_WINDOW=0 would skip characterization; using default ",
+             fallback);
+        return fallback;
+    }
+    return static_cast<Cycle>(v);
 }
 
 WarpedSlicerOptions
@@ -117,9 +147,26 @@ runCoSchedule(const std::vector<KernelParams> &apps,
     std::vector<KernelId> kids;
     for (std::size_t i = 0; i < apps.size(); ++i)
         kids.push_back(gpu.launchKernel(apps[i], targets[i]));
+    if (opts.telemetry)
+        gpu.attachTelemetry(opts.telemetry);
     gpu.run(opts.maxCycles);
 
     CoRunResult r;
+    if (opts.telemetry && opts.telemetry->enabled()) {
+        // Close the trailing partial interval and pull the histograms
+        // out before the Gpu (and its SMs/partitions) is destroyed.
+        opts.telemetry->finish(gpu);
+        for (unsigned s = 0; s < gpu.numSms(); ++s)
+            for (unsigned k = 0; k < maxConcurrentKernels; ++k)
+                r.memLatency[k].merge(gpu.sm(s).memLatencyHistogram(
+                    static_cast<KernelId>(k)));
+        for (unsigned p = 0; p < gpu.numPartitions(); ++p) {
+            r.mshrOccupancy.merge(
+                gpu.partition(p).mshrOccupancyHistogram());
+            r.dramQueueDepth.merge(
+                gpu.partition(p).dramQueueHistogram());
+        }
+    }
     r.completed = gpu.allKernelsDone();
     r.makespan = gpu.cycle();
     r.stats = gpu.collectStats();

@@ -10,6 +10,7 @@
 #ifndef WSL_HARNESS_RUNNER_HH
 #define WSL_HARNESS_RUNNER_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "core/warped_slicer.hh"
 #include "gpu/gpu.hh"
@@ -85,6 +87,12 @@ struct CoRunOptions
     /** Explicit per-kernel CTA quotas; non-empty selects the
      *  fixed-quota (oracle search) policy regardless of `kind`. */
     std::vector<int> fixedQuotas;
+    /**
+     * Optional interval sampler (owned by the caller, attached for the
+     * run). When set, CoRunResult's histograms are populated and the
+     * sampler's series covers the whole run.
+     */
+    TelemetrySampler *telemetry = nullptr;
 };
 
 /** Result of one co-scheduled run. */
@@ -98,6 +106,15 @@ struct CoRunResult
     std::vector<int> chosenCtas;
     bool spatialFallback = false;
     bool completed = true;  //!< false if maxCycles hit first
+
+    // Telemetry harvest (populated only when CoRunOptions::telemetry
+    // is set; harvested before the Gpu is destroyed).
+    /** Issue-to-writeback load latency per kernel, merged over SMs. */
+    std::array<Histogram, maxConcurrentKernels> memLatency{};
+    /** L2 MSHR occupancy per cycle, merged over partitions. */
+    Histogram mshrOccupancy;
+    /** DRAM scheduling-queue depth per cycle, merged over partitions. */
+    Histogram dramQueueDepth;
 };
 
 /**

@@ -20,6 +20,10 @@ MemPartition::busy() const
 void
 MemPartition::tick(Cycle now)
 {
+    if (recordTelemetry) {
+        mshrHist.record(l2.mshrsInUse());
+        dramHist.record(dram.queueDepth());
+    }
     // Retire DRAM work first so fills can satisfy same-cycle arrivals.
     dramDone.clear();
     dram.tick(now, dramDone);

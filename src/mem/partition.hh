@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/histogram.hh"
 #include "common/stats.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -47,6 +48,14 @@ class MemPartition
 
     const Cache &l2Cache() const { return l2; }
 
+    /** Switch per-cycle queue-depth histogram recording on or off. */
+    void setTelemetryRecording(bool on) { recordTelemetry = on; }
+
+    /** L2 MSHR occupancy sampled each cycle (telemetry runs only). */
+    const Histogram &mshrOccupancyHistogram() const { return mshrHist; }
+    /** DRAM scheduling-queue depth sampled each cycle. */
+    const Histogram &dramQueueHistogram() const { return dramHist; }
+
     /** Drop cached state between experiment phases. */
     void reset();
 
@@ -61,6 +70,9 @@ class MemPartition
     std::vector<MemResponse> outResponses;
     std::vector<DramCompletion> dramDone;  //!< scratch, reused per tick
     PartitionStats l2Stats;
+    bool recordTelemetry = false;
+    Histogram mshrHist;
+    Histogram dramHist;
 };
 
 } // namespace wsl

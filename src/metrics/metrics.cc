@@ -22,8 +22,11 @@ systemIpc(const std::vector<AppOutcome> &apps, std::uint64_t makespan)
 double
 speedup(const AppOutcome &app)
 {
-    WSL_ASSERT(app.cycles > 0 && app.aloneCycles > 0,
-               "speedup needs completed runs");
+    // A degenerate outcome (app never ran, or no solo baseline) has no
+    // meaningful speedup; report 0 rather than dividing by zero so
+    // callers can aggregate partial result sets.
+    if (app.cycles == 0 || app.aloneCycles == 0)
+        return 0.0;
     const double shared = static_cast<double>(app.insts) / app.cycles;
     const double alone =
         static_cast<double>(app.insts) / app.aloneCycles;
@@ -42,12 +45,18 @@ minimumSpeedup(const std::vector<AppOutcome> &apps)
 double
 antt(const std::vector<AppOutcome> &apps)
 {
-    if (apps.empty())
-        return 0.0;
+    // Degenerate apps (speedup 0) have an infinite turnaround and are
+    // excluded; an all-degenerate (or empty) set reports 0.
     double sum = 0.0;
-    for (const AppOutcome &a : apps)
-        sum += 1.0 / speedup(a);
-    return sum / static_cast<double>(apps.size());
+    std::size_t counted = 0;
+    for (const AppOutcome &a : apps) {
+        const double s = speedup(a);
+        if (s > 0.0) {
+            sum += 1.0 / s;
+            ++counted;
+        }
+    }
+    return counted ? sum / static_cast<double>(counted) : 0.0;
 }
 
 double
@@ -57,7 +66,10 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double log_sum = 0.0;
     for (double v : values) {
-        WSL_ASSERT(v > 0.0, "geomean needs positive values");
+        // A zero factor makes the product (and mean) zero; negative
+        // factors have no real geometric mean. Either way: 0.
+        if (v <= 0.0)
+            return 0.0;
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/log.hh"
 
@@ -227,7 +228,7 @@ SmCore::allocLoadEntry()
 }
 
 void
-SmCore::completeLoadTransaction(std::uint16_t load_idx)
+SmCore::completeLoadTransaction(std::uint16_t load_idx, Cycle now)
 {
     WSL_ASSERT(load_idx < loads.size(), "bad load index");
     PendingLoad &load = loads[load_idx];
@@ -237,6 +238,9 @@ SmCore::completeLoadTransaction(std::uint16_t load_idx)
         WarpState &w = warps[load.warp];
         if (w.epoch == load.epoch)
             w.pendingLong &= ~load.regMask;
+        if (recordTelemetry && load.kernel != invalidKernel)
+            memLatency[load.kernel].record(
+                static_cast<std::uint32_t>(now) - load.issuedAt);
         load.valid = false;
         freeLoads.push_back(load_idx);
     }
@@ -399,6 +403,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
       }
       case UnitKind::Ldst: {
         ++smStats.ldstIssues;
+        ldstOwner = w.kernel;
         if (!isGlobalMem(inst.op)) {
             // Shared-memory access: bank conflicts serialize the access
             // into `conflict` replays, occupying the port and delaying
@@ -419,7 +424,9 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
         if (isLoad(inst.op)) {
             const std::uint16_t entry = allocLoadEntry();
             loads[entry] = {widx, w.epoch, dst_bit,
-                            static_cast<std::uint16_t>(trans), true};
+                            static_cast<std::uint16_t>(trans), true,
+                            static_cast<std::int8_t>(w.kernel),
+                            static_cast<std::uint32_t>(now)};
             w.pendingLong |= dst_bit;
             for (unsigned t = 0; t < trans; ++t) {
                 const Addr line = lineAddr(genAddress(
@@ -508,10 +515,21 @@ SmCore::runScheduler(unsigned sched, Cycle now)
     auto &list = schedLists[sched];
     if (list.empty()) {
         ++smStats.stalls[static_cast<unsigned>(StallKind::Idle)];
+        if (recordTelemetry)
+            ++smStats.unattributedStalls[
+                static_cast<unsigned>(StallKind::Idle)];
         return;
     }
 
     unsigned counts[6] = {0, 0, 0, 0, 0, 0};
+    // Per-kernel outcome counts feed stall attribution; zeroing and
+    // updating them per scanned warp is measurable, so the whole
+    // attribution path stays behind the telemetry flag (hoisted to a
+    // local so the scan loop tests a register, not a member reload).
+    const bool attribute = recordTelemetry;
+    unsigned kernelCounts[maxConcurrentKernels][6];
+    if (attribute)
+        std::memset(kernelCounts, 0, sizeof(kernelCounts));
     unsigned scanned = 0;
     bool issued = false;
 
@@ -526,6 +544,8 @@ SmCore::runScheduler(unsigned sched, Cycle now)
             return true;
         }
         ++counts[static_cast<unsigned>(outcome)];
+        if (attribute)
+            ++kernelCounts[w.kernel][static_cast<unsigned>(outcome)];
         ++scanned;
         return false;
     };
@@ -567,6 +587,7 @@ SmCore::runScheduler(unsigned sched, Cycle now)
         return;
 
     StallKind kind = StallKind::Idle;
+    int culprit = invalidKernel;
     if (scanned > 0) {
         // Majority outcome, ties broken Mem > RAW > Exec > IBuffer >
         // Barrier to match the paper's accounting priority.
@@ -584,10 +605,29 @@ SmCore::runScheduler(unsigned sched, Cycle now)
             if (c > counts[static_cast<unsigned>(order[best])])
                 best = i;
         }
-        if (counts[static_cast<unsigned>(order[best])] > 0)
+        const unsigned chosen = static_cast<unsigned>(order[best]);
+        if (counts[chosen] > 0) {
             kind = kinds[best];
+            // Attribute the stall to the kernel whose warps dominated
+            // the charged outcome (per-tenant Figure-1 profiles).
+            if (attribute) {
+                unsigned most = 0;
+                for (unsigned k = 0; k < maxConcurrentKernels; ++k) {
+                    if (kernelCounts[k][chosen] > most) {
+                        most = kernelCounts[k][chosen];
+                        culprit = static_cast<int>(k);
+                    }
+                }
+            }
+        }
     }
     ++smStats.stalls[static_cast<unsigned>(kind)];
+    if (attribute) {
+        if (culprit != invalidKernel)
+            ++smStats.kernelStalls[culprit][static_cast<unsigned>(kind)];
+        else
+            ++smStats.unattributedStalls[static_cast<unsigned>(kind)];
+    }
 }
 
 void
@@ -641,6 +681,8 @@ SmCore::tick(Cycle now)
     if (ldstBusyUntil > now || !outRequests.empty() ||
         l1.mshrsInUse() >= 8) {
         ++smStats.ldstBusyCycles;
+        if (recordTelemetry && ldstOwner != invalidKernel)
+            ++smStats.kernelLdstBusyCycles[ldstOwner];
     }
 
     // Writeback wheel: retire short-latency results.
@@ -667,7 +709,7 @@ SmCore::tick(Cycle now)
     // L1-hit load transactions maturing this cycle.
     auto &mem_wb = memWheel[now % wheelSize];
     for (std::uint16_t load_idx : mem_wb)
-        completeLoadTransaction(load_idx);
+        completeLoadTransaction(load_idx, now);
     mem_wb.clear();
 
     // Line fills arriving from the memory partitions.
@@ -676,7 +718,7 @@ SmCore::tick(Cycle now)
             Cache::FillResult fill = l1.fill(respQueue[i].line);
             for (std::uint64_t token : fill.tokens)
                 completeLoadTransaction(
-                    static_cast<std::uint16_t>(token));
+                    static_cast<std::uint16_t>(token), now);
             respQueue[i] = respQueue.back();
             respQueue.pop_back();
         } else {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -88,6 +89,21 @@ class SmCore
     const Cache &l1Cache() const { return l1; }
     SmId id() const { return smId; }
 
+    /**
+     * Switch the telemetry histogram recording (end-to-end memory
+     * latency per kernel) on or off. Off (the default) keeps the load
+     * completion path free of histogram work.
+     */
+    void setTelemetryRecording(bool on) { recordTelemetry = on; }
+
+    /** Issue-to-writeback global-load latency of one kernel's accesses
+     *  (populated only while telemetry recording is on). */
+    const Histogram &
+    memLatencyHistogram(KernelId kid) const
+    {
+        return memLatency[kid];
+    }
+
     /** Change the warp scheduler (Figure 10b sensitivity study). */
     void setScheduler(SchedulerKind kind) { schedKind = kind; }
 
@@ -110,6 +126,11 @@ class SmCore
         std::uint32_t regMask = 0;
         std::uint16_t transLeft = 0;
         bool valid = false;
+        /** Owning kernel, narrowed to keep the entry compact. */
+        std::int8_t kernel = static_cast<std::int8_t>(invalidKernel);
+        /** Truncated issue cycle; latency via modulo-2^32 subtraction
+         *  (round trips are far below 2^32 cycles). */
+        std::uint32_t issuedAt = 0;
     };
 
     struct WbEntry
@@ -130,7 +151,7 @@ class SmCore
     void finishWarp(std::uint16_t widx);
     void maybeReleaseBarrier(CtaSlot &cta);
     void completeCta(int cta_idx);
-    void completeLoadTransaction(std::uint16_t load_idx);
+    void completeLoadTransaction(std::uint16_t load_idx, Cycle now);
     std::uint16_t allocLoadEntry();
     void removeFromSchedLists(const CtaSlot &cta);
 
@@ -159,6 +180,9 @@ class SmCore
     std::vector<Cycle> aluBusyUntil;  //!< one pipe per scheduler
     Cycle sfuBusyUntil = 0;
     Cycle ldstBusyUntil = 0;
+    /** Kernel whose access last occupied the LDST unit; busy cycles
+     *  are attributed to it. */
+    KernelId ldstOwner = invalidKernel;
 
     struct FetchEntry
     {
@@ -183,6 +207,10 @@ class SmCore
 
     std::vector<KernelId> ctaCompletions;
     SmStats smStats;
+
+    // Telemetry (recorded only while recordTelemetry is set).
+    bool recordTelemetry = false;
+    std::array<Histogram, maxConcurrentKernels> memLatency{};
 };
 
 } // namespace wsl

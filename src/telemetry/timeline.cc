@@ -1,0 +1,282 @@
+#include "telemetry/timeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "telemetry/telemetry.hh"
+#include "trace/tracer.hh"
+
+namespace wsl {
+
+namespace {
+
+// Process ids grouping the tracks in the trace viewer.
+constexpr int pidKernels = 1;
+constexpr int pidSms = 2;
+constexpr int pidParts = 3;
+
+// Thread 0 of the kernel process carries the scheduler's instants.
+constexpr int tidScheduler = 0;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Emits one JSON object per event, handling the separating commas. */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &s) : os(s) {}
+
+    void
+    emit(const std::string &body)
+    {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "    {" << body << "}";
+    }
+
+    void
+    metadata(const char *what, int pid, int tid, const std::string &name)
+    {
+        std::ostringstream b;
+        b << "\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid
+          << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+          << jsonEscape(name) << "\"}";
+        emit(b.str());
+    }
+
+    void
+    slice(const std::string &name, int pid, int tid, Cycle ts,
+          Cycle dur, const std::string &args)
+    {
+        std::ostringstream b;
+        b << "\"name\":\"" << jsonEscape(name)
+          << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+          << ",\"ts\":" << ts << ",\"dur\":" << dur;
+        if (!args.empty())
+            b << ",\"args\":{" << args << "}";
+        emit(b.str());
+    }
+
+    void
+    instant(const std::string &name, int pid, int tid, Cycle ts,
+            const std::string &args)
+    {
+        std::ostringstream b;
+        b << "\"name\":\"" << jsonEscape(name)
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+          << ",\"tid\":" << tid << ",\"ts\":" << ts;
+        if (!args.empty())
+            b << ",\"args\":{" << args << "}";
+        emit(b.str());
+    }
+
+    void
+    counter(const std::string &name, int pid, Cycle ts,
+            const std::string &series, double value)
+    {
+        std::ostringstream b;
+        b << "\"name\":\"" << jsonEscape(name)
+          << "\",\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":"
+          << ts << ",\"args\":{\"" << series << "\":" << value << "}";
+        emit(b.str());
+    }
+
+  private:
+    std::ostream &os;
+    bool first = true;
+};
+
+std::string
+kernelLabel(const Tracer &tracer, KernelId kid)
+{
+    const std::string &name = tracer.kernelName(kid);
+    if (!name.empty())
+        return name;
+    return "kernel" + std::to_string(kid);
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer,
+                 const TelemetrySampler *sampler, Cycle end_cycle)
+{
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n"
+       << "  \"traceEvents\": [\n";
+    EventWriter w(os);
+
+    // ---- Track metadata ----
+    w.metadata("process_name", pidKernels, 0, "Kernels");
+    w.metadata("process_name", pidSms, 0, "SMs");
+    w.metadata("process_name", pidParts, 0, "Memory Partitions");
+    w.metadata("thread_name", pidKernels, tidScheduler, "scheduler");
+
+    // Discover kernels and SMs from the event stream itself so the
+    // exporter needs no GPU handle.
+    std::map<KernelId, Cycle> launchAt;
+    std::map<KernelId, std::pair<Cycle, bool>> finishAt;
+    int maxSm = -1;
+    for (const TraceRecord &r : tracer.records()) {
+        switch (r.event) {
+          case TraceEvent::KernelLaunch:
+            launchAt.emplace(r.kernel, r.cycle);
+            break;
+          case TraceEvent::KernelFinish:
+            finishAt[r.kernel] = {r.cycle, r.a != 0};
+            break;
+          case TraceEvent::CtaLaunch:
+          case TraceEvent::CtaComplete:
+            maxSm = std::max(maxSm, static_cast<int>(r.b));
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &[kid, cycle] : launchAt) {
+        (void)cycle;
+        w.metadata("thread_name", pidKernels, 1 + kid,
+                   kernelLabel(tracer, kid));
+    }
+    for (int s = 0; s <= maxSm; ++s)
+        w.metadata("thread_name", pidSms, s, "SM " + std::to_string(s));
+
+    // ---- Kernel lifetime slices ----
+    for (const auto &[kid, start] : launchAt) {
+        Cycle end = end_cycle;
+        std::string args;
+        auto it = finishAt.find(kid);
+        if (it != finishAt.end()) {
+            end = it->second.first;
+            args = it->second.second ? "\"end\":\"inst_target\""
+                                     : "\"end\":\"grid_complete\"";
+        } else {
+            args = "\"end\":\"running\"";
+        }
+        w.slice(kernelLabel(tracer, kid), pidKernels, 1 + kid, start,
+                end > start ? end - start : 0, args);
+    }
+
+    // ---- Per-event instants ----
+    for (const TraceRecord &r : tracer.records()) {
+        std::ostringstream args;
+        switch (r.event) {
+          case TraceEvent::CtaLaunch:
+            args << "\"cta\":" << r.a << ",\"kernel\":\""
+                 << jsonEscape(kernelLabel(tracer, r.kernel)) << "\"";
+            w.instant("cta_launch", pidSms, static_cast<int>(r.b),
+                      r.cycle, args.str());
+            break;
+          case TraceEvent::CtaComplete:
+            args << "\"completed\":" << r.a << ",\"kernel\":\""
+                 << jsonEscape(kernelLabel(tracer, r.kernel)) << "\"";
+            w.instant("cta_complete", pidSms, static_cast<int>(r.b),
+                      r.cycle, args.str());
+            break;
+          case TraceEvent::ProfileStart:
+          case TraceEvent::Reprofile:
+            args << "\"round\":" << r.a;
+            w.instant(traceEventName(r.event), pidKernels, tidScheduler,
+                      r.cycle, args.str());
+            break;
+          case TraceEvent::Decision: {
+            // a = packed per-kernel CTA quotas, b = spatial flag (see
+            // Tracer::dump for the trailing-zero encoding).
+            unsigned last = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                if ((r.a >> (8 * i)) & 0xff)
+                    last = i;
+            for (unsigned i = 0; i <= last; ++i) {
+                if (i)
+                    args << ",";
+                args << "\"k" << i << "\":" << ((r.a >> (8 * i)) & 0xff);
+            }
+            args << ",\"spatial\":" << (r.b ? "true" : "false");
+            w.instant("decision", pidKernels, tidScheduler, r.cycle,
+                      args.str());
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // ---- Counter tracks from the interval series ----
+    if (sampler) {
+        for (const TelemetryInterval &iv : sampler->intervals()) {
+            const Cycle ts = iv.end;
+            const std::uint64_t len = iv.end - iv.start;
+            if (len == 0)
+                continue;
+            w.counter("gpu_ipc", pidKernels, ts, "ipc",
+                      static_cast<double>(iv.gpu.warpInstsIssued) /
+                          static_cast<double>(len));
+            for (std::size_t k = 0; k < sampler->numKernels(); ++k) {
+                w.counter("k" + std::to_string(k) + "_resident_ctas",
+                          pidKernels, ts, "ctas",
+                          static_cast<double>(iv.residentCtas[k]));
+            }
+            for (std::size_t s = 0; s < iv.sms.size(); ++s) {
+                const SmStats &sm = iv.sms[s];
+                if (sm.cycles == 0)
+                    continue;
+                w.counter("sm" + std::to_string(s) + "_ipc", pidSms, ts,
+                          "ipc",
+                          static_cast<double>(sm.warpInstsIssued) /
+                              static_cast<double>(sm.cycles));
+            }
+            for (std::size_t p = 0; p < iv.parts.size(); ++p) {
+                const PartitionStats &pt = iv.parts[p];
+                if (pt.l2Accesses) {
+                    w.counter("part" + std::to_string(p) +
+                                  "_l2_miss_rate",
+                              pidParts, ts, "rate",
+                              static_cast<double>(pt.l2Misses) /
+                                  static_cast<double>(pt.l2Accesses));
+                }
+                const std::uint64_t rows =
+                    pt.dramRowHits + pt.dramRowMisses;
+                if (rows) {
+                    w.counter("part" + std::to_string(p) +
+                                  "_dram_row_hit_rate",
+                              pidParts, ts, "rate",
+                              static_cast<double>(pt.dramRowHits) /
+                                  static_cast<double>(rows));
+                }
+            }
+        }
+    }
+
+    os << "\n  ]\n}\n";
+}
+
+} // namespace wsl

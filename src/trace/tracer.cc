@@ -60,11 +60,50 @@ Tracer::clear()
 }
 
 void
+Tracer::setKernelName(KernelId kid, const std::string &name)
+{
+    if (kid < 0)
+        return;
+    if (names.size() <= static_cast<std::size_t>(kid))
+        names.resize(kid + 1);
+    names[kid] = name;
+}
+
+const std::string &
+Tracer::kernelName(KernelId kid) const
+{
+    static const std::string none;
+    if (kid < 0 || static_cast<std::size_t>(kid) >= names.size())
+        return none;
+    return names[kid];
+}
+
+void
 Tracer::dump(std::ostream &os) const
 {
     for (const TraceRecord &r : ring) {
-        os << r.cycle << " " << traceEventName(r.event) << " kernel="
-           << r.kernel << " a=" << r.a << " b=" << r.b << "\n";
+        os << r.cycle << " " << traceEventName(r.event);
+        if (r.event == TraceEvent::Decision) {
+            // a = packed per-kernel CTA quotas (8 bits each, in live-
+            // kernel order), b = spatial fallback flag. A quota of 0
+            // never appears mid-vector (every live kernel gets >= 1
+            // CTA), so trailing zero bytes mark the vector's end.
+            unsigned last = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                if ((r.a >> (8 * i)) & 0xff)
+                    last = i;
+            for (unsigned i = 0; i <= last; ++i)
+                os << " k" << i << "=" << ((r.a >> (8 * i)) & 0xff);
+            os << " spatial=" << r.b << "\n";
+            continue;
+        }
+        const std::string &name = kernelName(r.kernel);
+        os << " kernel=";
+        if (!name.empty())
+            os << name;
+        else
+            os << r.kernel;
+        os << " a=" << r.a << " b=" << r.b << "\n";
     }
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -78,7 +79,20 @@ class Tracer
     std::uint64_t totalRecorded() const { return total; }
     void clear();
 
-    /** Human-readable dump, one event per line. */
+    /**
+     * Register the benchmark name behind a kernel id so dumps print
+     * names instead of table indices. Kept even while disabled (it is
+     * launch-time metadata, not an event).
+     */
+    void setKernelName(KernelId kid, const std::string &name);
+    /** Registered name, or "" if the kernel id is unknown. */
+    const std::string &kernelName(KernelId kid) const;
+    /** Number of kernel ids with a registered name. */
+    std::size_t numKernelNames() const { return names.size(); }
+
+    /** Human-readable dump, one event per line. Kernels print by
+     *  benchmark name when registered; Decision events decode their
+     *  packed quotas into `k0=Q0 k1=Q1 ...` form. */
     void dump(std::ostream &os) const;
 
   private:
@@ -86,6 +100,7 @@ class Tracer
     std::size_t cap = 0;
     std::uint64_t total = 0;
     std::deque<TraceRecord> ring;
+    std::vector<std::string> names;  //!< indexed by KernelId
 };
 
 /** Pack up to four small CTA quotas into a trace word. */

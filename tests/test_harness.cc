@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "harness/runner.hh"
+#include "telemetry/telemetry.hh"
 
 using namespace wsl;
 
@@ -45,6 +46,25 @@ TEST(Harness, DefaultWindowRespectsEnvironment)
     EXPECT_EQ(defaultWindow(), 50000u);
     unsetenv("WSL_WINDOW");
     EXPECT_EQ(defaultWindow(), 50000u);
+}
+
+TEST(Harness, DefaultWindowRejectsMalformedInput)
+{
+    // Every malformed value falls back to the default (with a warning)
+    // instead of silently truncating via atoll.
+    const char *bad[] = {
+        "",       "abc",     "12abc", "1.5",
+        "0",      "+7",      " 9",    "0x10",
+        "99999999999999999999999999",  // overflows uint64
+    };
+    for (const char *v : bad) {
+        setenv("WSL_WINDOW", v, 1);
+        EXPECT_EQ(defaultWindow(), 50000u) << "WSL_WINDOW='" << v << "'";
+    }
+    // Boundary: the largest representable window still parses.
+    setenv("WSL_WINDOW", "18446744073709551615", 1);
+    EXPECT_EQ(defaultWindow(), ~Cycle{0});
+    unsetenv("WSL_WINDOW");
 }
 
 TEST(Harness, SoloRunForCyclesStopsOnTime)
@@ -126,6 +146,33 @@ TEST(Harness, FixedQuotaRunUsesGivenCombo)
     const CoRunResult r =
         runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg, opts);
     EXPECT_TRUE(r.completed);
+}
+
+TEST(Harness, CoRunHarvestsTelemetry)
+{
+    Characterization chars(cfg, 10000);
+    const std::vector<KernelParams> apps = {benchmark("IMG"),
+                                            benchmark("MM")};
+    const std::vector<std::uint64_t> targets = {chars.target("IMG"),
+                                                chars.target("MM")};
+    TelemetrySampler sampler(TelemetryConfig{2000, 4096});
+    CoRunOptions opts;
+    opts.telemetry = &sampler;
+    const CoRunResult r =
+        runCoSchedule(apps, targets, PolicyKind::Even, cfg, opts);
+
+    // The interval series tiles the whole run.
+    ASSERT_FALSE(sampler.intervals().empty());
+    Cycle covered = 0;
+    for (const TelemetryInterval &iv : sampler.intervals())
+        covered += iv.end - iv.start;
+    EXPECT_EQ(covered, r.makespan);
+    // Histograms were harvested before the Gpu was destroyed.
+    EXPECT_FALSE(r.memLatency[0].empty());
+    EXPECT_FALSE(r.memLatency[1].empty());
+    EXPECT_FALSE(r.mshrOccupancy.empty());
+    EXPECT_FALSE(r.dramQueueDepth.empty());
+    EXPECT_GT(r.memLatency[0].mean(), 0.0);
 }
 
 TEST(Harness, MaxCyclesCapMarksIncomplete)

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the log2-bucket histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/histogram.hh"
+
+using namespace wsl;
+
+TEST(Histogram, BucketOfFollowsBitWidth)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo)
+{
+    // Bucket 0 is the exact-zero bucket; bucket i >= 1 covers
+    // [2^(i-1), 2^i - 1].
+    EXPECT_EQ(Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Histogram::bucketHigh(1), 1u);
+    EXPECT_EQ(Histogram::bucketLow(5), 16u);
+    EXPECT_EQ(Histogram::bucketHigh(5), 31u);
+    EXPECT_EQ(Histogram::bucketHigh(64), ~std::uint64_t{0});
+    // Every value lands inside its own bucket's bounds.
+    for (std::uint64_t v : {0ull, 1ull, 7ull, 255ull, 4096ull}) {
+        const unsigned b = Histogram::bucketOf(v);
+        EXPECT_GE(v, Histogram::bucketLow(b));
+        EXPECT_LE(v, Histogram::bucketHigh(b));
+    }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    h.record(10);
+    h.record(100);
+    h.record(3, 2);  // weighted: two samples of value 3
+    EXPECT_FALSE(h.empty());
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.total(), 116u);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 116.0 / 4.0);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(3)), 2u);
+}
+
+TEST(Histogram, PercentileWalksCumulativeCounts)
+{
+    Histogram h;
+    // 90 small values (bucket of 1) and 10 large (bucket of 1024).
+    h.record(1, 90);
+    h.record(1024, 10);
+    EXPECT_EQ(h.percentile(0.5), 1u);
+    // The 99th percentile falls in the 1024 bucket; the result is
+    // clamped to the observed max.
+    EXPECT_EQ(h.percentile(0.99), 1024u);
+}
+
+TEST(Histogram, PercentileClampsToObservedRange)
+{
+    Histogram h;
+    h.record(100);
+    // One sample: every percentile is that sample, despite the bucket
+    // upper bound being 127.
+    EXPECT_EQ(h.percentile(0.01), 100u);
+    EXPECT_EQ(h.percentile(0.5), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, ZerosLandInTheirOwnBucket)
+{
+    Histogram h;
+    h.record(0, 5);
+    h.record(1, 5);
+    EXPECT_EQ(h.bucketCount(0), 5u);
+    EXPECT_EQ(h.bucketCount(1), 5u);
+    EXPECT_EQ(h.percentile(0.4), 0u);
+    EXPECT_EQ(h.percentile(0.9), 1u);
+}
+
+TEST(Histogram, MergeCombinesElementWise)
+{
+    Histogram a, b;
+    a.record(4, 3);
+    a.record(1000);
+    b.record(5, 2);
+    b.record(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 7u);
+    EXPECT_EQ(a.total(), 3u * 4 + 1000 + 2u * 5 + 2);
+    EXPECT_EQ(a.min(), 2u);
+    EXPECT_EQ(a.max(), 1000u);
+    EXPECT_EQ(a.bucketCount(3), 5u);  // 4,4,4 + 5,5 share bucket 3
+
+    // Merging an empty histogram changes nothing.
+    const std::uint64_t before = a.count();
+    a.merge(Histogram{});
+    EXPECT_EQ(a.count(), before);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, DumpListsPopulatedBuckets)
+{
+    Histogram h;
+    h.record(3, 2);
+    std::ostringstream os;
+    h.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("2"), std::string::npos);
+    // Only one populated bucket => exactly one line.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}

@@ -58,13 +58,43 @@ TEST(Metrics, Geomean)
     EXPECT_DOUBLE_EQ(geomean({7.5}), 7.5);
 }
 
-TEST(MetricsDeath, SpeedupNeedsCompletedRuns)
+TEST(Metrics, SpeedupOfDegenerateOutcomeIsZero)
 {
-    EXPECT_DEATH(speedup(AppOutcome{1000, 0, 100}), "completed");
-    EXPECT_DEATH(speedup(AppOutcome{1000, 100, 0}), "completed");
+    // An app that never ran, or that has no solo baseline, has no
+    // meaningful speedup; the metric reports 0 instead of dividing by
+    // zero so aggregation over partial result sets stays total.
+    EXPECT_DOUBLE_EQ(speedup(AppOutcome{1000, 0, 100}), 0.0);
+    EXPECT_DOUBLE_EQ(speedup(AppOutcome{1000, 100, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(speedup(AppOutcome{0, 0, 0}), 0.0);
 }
 
-TEST(MetricsDeath, GeomeanRejectsNonPositive)
+TEST(Metrics, SystemIpcEmptyApps)
 {
-    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+    EXPECT_DOUBLE_EQ(systemIpc({}, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(systemIpc({}, 0), 0.0);
+}
+
+TEST(Metrics, MinimumSpeedupEmptyAndDegenerate)
+{
+    EXPECT_DOUBLE_EQ(minimumSpeedup({}), 0.0);
+    // A degenerate app bounds fairness at zero.
+    const std::vector<AppOutcome> apps = {{1000, 100, 100},
+                                          {1000, 0, 100}};
+    EXPECT_DOUBLE_EQ(minimumSpeedup(apps), 0.0);
+}
+
+TEST(Metrics, AnttSkipsDegenerateApps)
+{
+    // The zero-cycle app would contribute an infinite turnaround; it
+    // is excluded from the mean.
+    const std::vector<AppOutcome> apps = {{1000, 200, 100},  // 1/0.5=2
+                                          {1000, 0, 100}};
+    EXPECT_DOUBLE_EQ(antt(apps), 2.0);
+    EXPECT_DOUBLE_EQ(antt({AppOutcome{1000, 0, 100}}), 0.0);
+}
+
+TEST(Metrics, GeomeanNonPositiveIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, -1.0}), 0.0);
 }

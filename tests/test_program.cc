@@ -97,8 +97,9 @@ TEST(Program, StoresHaveNoDestination)
 {
     const KernelProgram prog = buildProgram(tinyKernel());
     for (const Instruction &inst : prog.body) {
-        if (inst.op == Opcode::StGlobal || inst.op == Opcode::StShared)
+        if (inst.op == Opcode::StGlobal || inst.op == Opcode::StShared) {
             EXPECT_EQ(inst.dst, -1);
+        }
     }
 }
 
@@ -153,9 +154,11 @@ TEST_P(BenchmarkProgram, RegistersWithinDeclaredBudget)
 TEST_P(BenchmarkProgram, LoadsWriteRegisters)
 {
     const KernelProgram prog = buildProgram(GetParam());
-    for (const Instruction &inst : prog.body)
-        if (isLoad(inst.op))
+    for (const Instruction &inst : prog.body) {
+        if (isLoad(inst.op)) {
             EXPECT_GE(inst.dst, 0);
+        }
+    }
 }
 
 TEST_P(BenchmarkProgram, EveryInstructionReadsARecentWrite)

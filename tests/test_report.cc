@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "report/table.hh"
@@ -96,6 +97,83 @@ TEST(Table, NumFormatsWithPrecision)
     EXPECT_EQ(Table::num(1.23456), "1.235");
     EXPECT_EQ(Table::num(1.0, 1), "1.0");
     EXPECT_EQ(Table::num(-0.5, 2), "-0.50");
+}
+
+namespace {
+
+/** Parse RFC-4180 CSV back into rows of fields. */
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            row.push_back(std::move(field));
+            field.clear();
+        } else if (c == '\n') {
+            row.push_back(std::move(field));
+            field.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+        } else {
+            field += c;
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
+TEST(Table, CsvRoundTripsThroughParser)
+{
+    Table t({"name", "payload"});
+    t.addRow({"plain", "value"});
+    t.addRow({"comma", "a,b"});
+    t.addRow({"quote", "say \"hi\""});
+    t.addRow({"newline", "two\nlines"});
+    std::ostringstream os;
+    t.writeCsv(os);
+
+    const auto rows = parseCsv(os.str());
+    ASSERT_EQ(rows.size(), 5u);  // header + 4
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "payload"}));
+    EXPECT_EQ(rows[1][1], "value");
+    EXPECT_EQ(rows[2][1], "a,b");
+    EXPECT_EQ(rows[3][1], "say \"hi\"");
+    EXPECT_EQ(rows[4][1], "two\nlines");
+}
+
+TEST(Table, JsonRoundTripKeepsKeyValuePairs)
+{
+    Table t({"k", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"esc\"aped", "back\\slash"});
+    std::ostringstream os;
+    t.writeJson(os);
+    const std::string out = os.str();
+    // Structural sanity: one object per row inside one array.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'), 2);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '}'), 2);
+    EXPECT_NE(out.find("\"k\": \"x\""), std::string::npos);
+    EXPECT_NE(out.find("\"k\": \"esc\\\"aped\""), std::string::npos);
+    EXPECT_NE(out.find("\"v\": \"back\\\\slash\""), std::string::npos);
 }
 
 TEST(FlattenStats, ContainsCoreMetrics)

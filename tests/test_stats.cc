@@ -82,3 +82,78 @@ TEST(Stats, CountersStartAtZero)
     EXPECT_EQ(g.dramBusyCycles, 0u);
     EXPECT_EQ(g.ldstIssues, 0u);
 }
+
+TEST(Stats, FieldVisitorNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    auto check = [&](const char *name, auto) {
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::strlen(name), 0u);
+        EXPECT_TRUE(names.insert(name).second) << name;
+    };
+    SmStats::forEachField(check);
+    PartitionStats::forEachField(check);
+    // The two field sets must stay disjoint: GpuStats inherits both.
+    EXPECT_GE(names.size(), 25u);
+}
+
+TEST(Stats, AccumulateSumsEveryPublishedField)
+{
+    SmStats a, b;
+    // Touch scalar, per-kernel array, and nested array fields.
+    a.cycles = 10;
+    b.cycles = 32;
+    a.l1Misses = 3;
+    b.l1Misses = 4;
+    a.kernelWarpInsts[1] = 100;
+    b.kernelWarpInsts[1] = 11;
+    a.kernelStalls[0][2] = 5;
+    b.kernelStalls[0][2] = 6;
+    b.kernelStalls[3][1] = 9;
+    accumulateStats<SmStats>(a, b);
+    EXPECT_EQ(a.cycles, 42u);
+    EXPECT_EQ(a.l1Misses, 7u);
+    EXPECT_EQ(a.kernelWarpInsts[1], 111u);
+    EXPECT_EQ(a.kernelStalls[0][2], 11u);
+    EXPECT_EQ(a.kernelStalls[3][1], 9u);
+}
+
+TEST(Stats, SubtractInvertsAccumulate)
+{
+    SmStats base;
+    base.warpInstsIssued = 500;
+    base.stalls[1] = 20;
+    base.unattributedStalls[1] = 8;
+    SmStats later = base;
+    later.warpInstsIssued = 720;
+    later.stalls[1] = 31;
+    later.unattributedStalls[1] = 10;
+
+    SmStats delta = later;
+    subtractStats<SmStats>(delta, base);
+    EXPECT_EQ(delta.warpInstsIssued, 220u);
+    EXPECT_EQ(delta.stalls[1], 11u);
+    EXPECT_EQ(delta.unattributedStalls[1], 2u);
+
+    // delta + base == later again, field by field.
+    accumulateStats<SmStats>(delta, base);
+    EXPECT_EQ(delta.warpInstsIssued, later.warpInstsIssued);
+    EXPECT_EQ(delta.stalls[1], later.stalls[1]);
+}
+
+TEST(Stats, VisitorAppliesToDerivedGpuStats)
+{
+    // Base-class member pointers must work on the derived aggregate —
+    // this is what Gpu::collectStats relies on.
+    GpuStats g;
+    SmStats sm;
+    sm.warpInstsIssued = 7;
+    sm.kernelLdstBusyCycles[2] = 3;
+    PartitionStats part;
+    part.dramRowHits = 13;
+    accumulateStats<SmStats>(g, sm);
+    accumulateStats<PartitionStats>(g, part);
+    EXPECT_EQ(g.warpInstsIssued, 7u);
+    EXPECT_EQ(g.kernelLdstBusyCycles[2], 3u);
+    EXPECT_EQ(g.dramRowHits, 13u);
+}

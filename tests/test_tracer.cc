@@ -84,6 +84,45 @@ TEST(Tracer, DumpIsOneLinePerEvent)
     EXPECT_EQ(os.str(), "5 kernel_finish kernel=1 a=1 b=0\n");
 }
 
+TEST(Tracer, DumpPrintsRegisteredKernelNames)
+{
+    TraceGuard guard;
+    Tracer &t = Tracer::global();
+    t.setKernelName(2, "MM");
+    t.record(7, TraceEvent::KernelLaunch, 2, 64);
+    std::ostringstream os;
+    t.dump(os);
+    EXPECT_EQ(os.str(), "7 kernel_launch kernel=MM a=64 b=0\n");
+    // Unknown ids keep printing numerically.
+    EXPECT_EQ(t.kernelName(99), "");
+    EXPECT_EQ(t.kernelName(invalidKernel), "");
+}
+
+TEST(Tracer, DumpDecodesDecisionQuotas)
+{
+    TraceGuard guard;
+    Tracer &t = Tracer::global();
+    t.record(42, TraceEvent::Decision, invalidKernel,
+             packQuotas({4, 2}), 0);
+    t.record(50, TraceEvent::Decision, invalidKernel,
+             packQuotas({1, 2, 3}), 1);
+    std::ostringstream os;
+    t.dump(os);
+    EXPECT_EQ(os.str(),
+              "42 decision k0=4 k1=2 spatial=0\n"
+              "50 decision k0=1 k1=2 k2=3 spatial=1\n");
+}
+
+TEST(Tracer, KernelNamesSurviveDisable)
+{
+    // Names are launch metadata, not events: registering while the
+    // tracer is off must still work so a later dump can use them.
+    Tracer &t = Tracer::global();
+    ASSERT_FALSE(t.enabled());
+    t.setKernelName(3, "BFS");
+    EXPECT_EQ(t.kernelName(3), "BFS");
+}
+
 TEST(Tracer, SimulationEmitsConsistentCtaLifecycle)
 {
     TraceGuard guard(1 << 20);

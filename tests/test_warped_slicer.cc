@@ -186,8 +186,9 @@ TEST(WarpedSlicer, LateArrivalTriggersRepartitioning)
     EXPECT_EQ(rig.dyn->phase(), WarpedSlicerPolicy::Phase::Profiling);
     rig.gpu->run(2 * 2000 + 500);
     EXPECT_EQ(rig.dyn->profileRounds(), rounds_before + 1);
-    if (!rig.dyn->usedSpatialFallback())
+    if (!rig.dyn->usedSpatialFallback()) {
         EXPECT_EQ(rig.dyn->lastDecision().ctas.size(), 3u);
+    }
 }
 
 TEST(WarpedSlicer, KernelCompletionLiftsRestrictions)

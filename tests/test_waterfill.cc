@@ -18,8 +18,10 @@ namespace {
 KernelDemand
 demand(unsigned regs_per_cta, std::vector<double> perf)
 {
-    return KernelDemand{ResourceVec{regs_per_cta, 0, 0, 1},
-                        std::move(perf)};
+    KernelDemand d;
+    d.perCta = ResourceVec{regs_per_cta, 0, 0, 1};
+    d.perf = std::move(perf);
+    return d;
 }
 
 const ResourceVec cap8{32768, 48 * 1024, 1536, 8};
@@ -220,8 +222,10 @@ TEST(WaterFill, LargeInstanceIsFast)
         std::vector<double> perf;
         for (int j = 0; j < 32; ++j)
             perf.push_back(j + 1);
-        demands.push_back(
-            KernelDemand{ResourceVec{256, 0, 32, 1}, perf});
+        KernelDemand d;
+        d.perCta = ResourceVec{256, 0, 32, 1};
+        d.perf = perf;
+        demands.push_back(d);
     }
     const auto r =
         waterFill(demands, ResourceVec{65536, 98304, 2048, 32});

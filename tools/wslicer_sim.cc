@@ -14,8 +14,13 @@
  *   wslicer-sim corun BENCH1 BENCH2 [BENCH3]
  *       [--policy leftover|spatial|even|dynamic|fixed:Q1,Q2[,Q3]]
  *       [--window N] [--sched gto|lrr] [--large]
+ *       [--stats-interval N] [--timeline FILE]
  *       Co-run benchmarks under a multiprogramming policy using the
- *       paper's instruction-target methodology.
+ *       paper's instruction-target methodology. --stats-interval
+ *       samples interval telemetry every N cycles (--csv/--json then
+ *       export the time series instead of the summary table);
+ *       --timeline writes a Chrome trace-event JSON file for
+ *       ui.perfetto.dev.
  *
  *   wslicer-sim combos BENCH1 BENCH2 [--window N]
  *       Exhaustively evaluate every feasible CTA partition (the
@@ -36,6 +41,8 @@
 #include "common/log.hh"
 #include "harness/runner.hh"
 #include "report/table.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "trace/tracer.hh"
 
 using namespace wsl;
@@ -54,6 +61,8 @@ struct Options
     std::string csvPath;
     std::string jsonPath;
     std::string tracePath;
+    std::string timelinePath;
+    Cycle statsInterval = 0;  //!< 0 = telemetry off
 };
 
 [[noreturn]] void
@@ -65,7 +74,8 @@ usage(const char *argv0)
                  "options: --cycles N --window N --ctas Q --large\n"
                  "         --policy leftover|spatial|even|dynamic|"
                  "fixed:Q1,Q2[,Q3]\n"
-                 "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n",
+                 "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
+                 "         --stats-interval N --timeline FILE\n",
                  argv0);
     std::exit(2);
 }
@@ -97,6 +107,11 @@ parseArgs(int argc, char **argv)
             opt.large = true;
         else if (arg == "--trace")
             opt.tracePath = next();
+        else if (arg == "--timeline")
+            opt.timelinePath = next();
+        else if (arg == "--stats-interval")
+            opt.statsInterval =
+                std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--csv")
             opt.csvPath = next();
         else if (arg == "--json")
@@ -262,6 +277,15 @@ cmdCorun(const Options &opt)
         fatal("unknown policy: ", opt.policy);
     }
 
+    TelemetrySampler sampler(TelemetryConfig{opt.statsInterval, 4096});
+    if (sampler.enabled())
+        co.telemetry = &sampler;
+
+    // The characterization solo runs above also record trace events;
+    // drop them so the timeline covers only the co-run itself.
+    if (Tracer::global().enabled())
+        Tracer::global().clear();
+
     CoRunResult r = runCoSchedule(apps, targets, kind, cfg, co);
     Table table({"metric", "value"});
     table.addRow({"policy", opt.policy});
@@ -286,7 +310,59 @@ cmdCorun(const Options &opt)
         table.addRow({"dynamic_partition",
                       r.spatialFallback ? "spatial-fallback" : ctas});
     }
-    emit(opt, table);
+
+    if (sampler.enabled()) {
+        // Latency / queue-depth digests from the telemetry harvest.
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const Histogram &h = r.memLatency[i];
+            if (h.empty())
+                continue;
+            const std::string &name = opt.benchNames[i];
+            table.addRow({name + "_mem_lat_mean", Table::num(h.mean())});
+            table.addRow({name + "_mem_lat_p50",
+                          std::to_string(h.percentile(0.5))});
+            table.addRow({name + "_mem_lat_p99",
+                          std::to_string(h.percentile(0.99))});
+        }
+        if (!r.mshrOccupancy.empty())
+            table.addRow({"l2_mshr_occupancy_mean",
+                          Table::num(r.mshrOccupancy.mean())});
+        if (!r.dramQueueDepth.empty())
+            table.addRow({"dram_queue_depth_mean",
+                          Table::num(r.dramQueueDepth.mean())});
+        table.addRow({"telemetry_intervals",
+                      std::to_string(sampler.intervals().size())});
+
+        // With telemetry on, the machine-readable outputs carry the
+        // time series; the summary stays on stdout.
+        table.writeText(std::cout);
+        if (!opt.csvPath.empty()) {
+            std::ofstream os(opt.csvPath);
+            if (!os)
+                fatal("cannot open ", opt.csvPath);
+            sampler.writeCsv(os);
+            std::printf("(wrote %s)\n", opt.csvPath.c_str());
+        }
+        if (!opt.jsonPath.empty()) {
+            std::ofstream os(opt.jsonPath);
+            if (!os)
+                fatal("cannot open ", opt.jsonPath);
+            sampler.writeJson(os);
+            std::printf("(wrote %s)\n", opt.jsonPath.c_str());
+        }
+    } else {
+        emit(opt, table);
+    }
+
+    if (!opt.timelinePath.empty()) {
+        std::ofstream os(opt.timelinePath);
+        if (!os)
+            fatal("cannot open ", opt.timelinePath);
+        writeChromeTrace(os, Tracer::global(),
+                         sampler.enabled() ? &sampler : nullptr,
+                         r.makespan);
+        std::printf("(wrote %s)\n", opt.timelinePath.c_str());
+    }
     return 0;
 }
 
@@ -327,7 +403,7 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
-    if (!opt.tracePath.empty())
+    if (!opt.tracePath.empty() || !opt.timelinePath.empty())
         Tracer::global().enable(1 << 20);
     int rc = 2;
     if (opt.command == "list")
