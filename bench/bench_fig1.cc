@@ -7,7 +7,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -24,9 +26,16 @@ main()
     std::printf("%-5s %8s %8s %8s %8s %8s %8s\n", "App", "Memory",
                 "RAW", "Exec", "IBuffer", "Other", "Issued");
 
+    const std::vector<KernelParams> &benches = allBenchmarks();
+    const std::vector<SoloResult> runs = parallelMap<SoloResult>(
+        benches.size(), defaultJobs(), [&](std::size_t i) {
+            return runSoloForCycles(benches[i], cfg, window);
+        });
+
     double sums[6] = {0, 0, 0, 0, 0, 0};
-    for (const KernelParams &k : allBenchmarks()) {
-        const SoloResult r = runSoloForCycles(k, cfg, window);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const KernelParams &k = benches[b];
+        const SoloResult &r = runs[b];
         const GpuStats &s = r.stats;
         const double sched_cycles = static_cast<double>(s.cycles) *
                                     cfg.numSms * cfg.numSchedulers;

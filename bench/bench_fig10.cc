@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -19,21 +20,22 @@ using namespace wsl;
 namespace {
 
 double
-gmeanDynamicOverPairs(const GpuConfig &cfg, Characterization &chars,
+gmeanDynamicOverPairs(Characterization &chars,
                       const WarpedSlicerOptions &slicer)
 {
-    std::vector<double> vals;
+    std::vector<CoRunJob> batch;
     for (const WorkloadPair &pair : evaluationPairs()) {
-        const std::vector<KernelParams> apps = {benchmark(pair.first),
-                                                benchmark(pair.second)};
-        const std::vector<std::uint64_t> targets = {
-            chars.target(pair.first), chars.target(pair.second)};
-        CoRunOptions opts;
-        opts.slicer = slicer;
-        const CoRunResult r = runCoSchedule(
-            apps, targets, PolicyKind::Dynamic, cfg, opts);
-        vals.push_back(r.sysIpc);
+        CoRunJob job;
+        job.apps = {pair.first, pair.second};
+        job.kind = PolicyKind::Dynamic;
+        job.opts.slicer = slicer;
+        batch.push_back(job);
     }
+    const std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, defaultJobs());
+    std::vector<double> vals;
+    for (const CoRunResult &r : results)
+        vals.push_back(r.sysIpc);
     return geomean(vals);
 }
 
@@ -50,14 +52,14 @@ main()
     std::printf("Figure 10a: sensitivity to profiling length and "
                 "algorithm delay\n(GMEAN Dynamic IPC over 30 pairs, "
                 "normalized to the default config)\n\n");
-    const double ref = gmeanDynamicOverPairs(cfg, chars, base);
+    const double ref = gmeanDynamicOverPairs(chars, base);
 
     std::printf("  %-22s %8s\n", "Config", "NormIPC");
     for (Cycle len : {base.profileLength / 2, base.profileLength,
                       base.profileLength * 2}) {
         WarpedSlicerOptions o = base;
         o.profileLength = len;
-        const double v = gmeanDynamicOverPairs(cfg, chars, o);
+        const double v = gmeanDynamicOverPairs(chars, o);
         std::printf("  profile %-6llu cycles  %8.3f\n",
                     static_cast<unsigned long long>(len), v / ref);
         std::fflush(stdout);
@@ -65,7 +67,7 @@ main()
     for (Cycle delay : {Cycle(1000), Cycle(5000), Cycle(10000)}) {
         WarpedSlicerOptions o = base;
         o.algorithmDelay = delay;
-        const double v = gmeanDynamicOverPairs(cfg, chars, o);
+        const double v = gmeanDynamicOverPairs(chars, o);
         std::printf("  delay   %-6llu cycles  %8.3f\n",
                     static_cast<unsigned long long>(delay), v / ref);
         std::fflush(stdout);
@@ -82,26 +84,30 @@ main()
         GpuConfig c = cfg;
         c.scheduler = sched;
         Characterization sched_chars(c, window);
+        // The batch draws its config from the Characterization, so the
+        // per-scheduler chars carries the modified GpuConfig.
+        const std::vector<WorkloadPair> pairs = evaluationPairs();
+        std::vector<CoRunJob> batch;
+        for (const WorkloadPair &pair : pairs) {
+            for (PolicyKind kind :
+                 {PolicyKind::LeftOver, PolicyKind::Spatial,
+                  PolicyKind::Even, PolicyKind::Dynamic}) {
+                CoRunJob job;
+                job.apps = {pair.first, pair.second};
+                job.kind = kind;
+                if (kind == PolicyKind::Dynamic)
+                    job.opts.slicer = scaledSlicerOptions(window);
+                batch.push_back(job);
+            }
+        }
+        const std::vector<CoRunResult> results =
+            runCoScheduleBatch(sched_chars, batch, defaultJobs());
         std::vector<double> sp, ev, dy;
-        for (const WorkloadPair &pair : evaluationPairs()) {
-            const std::vector<KernelParams> apps = {
-                benchmark(pair.first), benchmark(pair.second)};
-            const std::vector<std::uint64_t> targets = {
-                sched_chars.target(pair.first),
-                sched_chars.target(pair.second)};
-            const CoRunResult left = runCoSchedule(
-                apps, targets, PolicyKind::LeftOver, c);
-            const CoRunResult spatial = runCoSchedule(
-                apps, targets, PolicyKind::Spatial, c);
-            const CoRunResult even =
-                runCoSchedule(apps, targets, PolicyKind::Even, c);
-            CoRunOptions opts;
-            opts.slicer = scaledSlicerOptions(window);
-            const CoRunResult dynamic = runCoSchedule(
-                apps, targets, PolicyKind::Dynamic, c, opts);
-            sp.push_back(spatial.sysIpc / left.sysIpc);
-            ev.push_back(even.sysIpc / left.sysIpc);
-            dy.push_back(dynamic.sysIpc / left.sysIpc);
+        for (std::size_t p = 0; p < pairs.size(); ++p) {
+            const CoRunResult &left = results[4 * p + 0];
+            sp.push_back(results[4 * p + 1].sysIpc / left.sysIpc);
+            ev.push_back(results[4 * p + 2].sysIpc / left.sysIpc);
+            dy.push_back(results[4 * p + 3].sysIpc / left.sysIpc);
         }
         std::printf("  %-18s %8.3f %8.3f %8.3f\n",
                     sched == SchedulerKind::Gto ? "Greedy-Then-Oldest"

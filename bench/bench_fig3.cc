@@ -11,23 +11,29 @@
 #include <vector>
 
 #include "core/waterfill.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/solo_cache.hh"
 
 using namespace wsl;
 
 namespace {
 
-/** IPC per CTA count 1..max for a benchmark run in isolation. */
+/**
+ * IPC per CTA count 1..max for a benchmark run in isolation. Points
+ * run in parallel and are memoized, so the repeated IMG/NN curves in
+ * part (b) come straight from the cache.
+ */
 std::vector<double>
 occupancyCurve(const KernelParams &k, const GpuConfig &cfg, Cycle window)
 {
-    std::vector<double> ipc;
     const unsigned max_ctas = k.maxCtasPerSm(cfg);
-    for (unsigned q = 1; q <= max_ctas; ++q) {
-        const SoloResult r = runSoloForCycles(k, cfg, window, q);
-        ipc.push_back(r.warpIpc());
-    }
-    return ipc;
+    return parallelMap<double>(
+        max_ctas, defaultJobs(), [&](std::size_t i) {
+            return SoloCache::global()
+                .get(k, cfg, window, static_cast<int>(i + 1))
+                .warpIpc();
+        });
 }
 
 } // namespace

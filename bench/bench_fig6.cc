@@ -9,6 +9,7 @@
  * Environment:
  *   WSL_WINDOW  characterization window (default 100000 cycles)
  *   WSL_ORACLE  0 disables the exhaustive oracle search (default on)
+ *   WSL_JOBS    worker threads for the experiment matrix (default 1)
  */
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "core/policies.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -39,6 +41,7 @@ main()
 {
     const GpuConfig cfg = GpuConfig::baseline();
     const Cycle window = defaultWindow();
+    const unsigned jobs = defaultJobs();
     Characterization chars(cfg, window);
     const bool run_oracle = oracleEnabled();
 
@@ -57,37 +60,59 @@ main()
     };
     std::vector<Row> rows;
 
-    for (const WorkloadPair &pair : evaluationPairs()) {
+    // Build the whole pair x policy matrix (plus the oracle's
+    // fixed-quota search space) as one batch of independent jobs;
+    // results come back in construction order, so each pair's runs sit
+    // at a known offset.
+    const std::vector<WorkloadPair> pairs = evaluationPairs();
+    std::vector<CoRunJob> batch;
+    std::vector<std::size_t> first_job;  //!< batch index of each pair
+    for (const WorkloadPair &pair : pairs) {
+        first_job.push_back(batch.size());
+        for (PolicyKind kind :
+             {PolicyKind::LeftOver, PolicyKind::Spatial,
+              PolicyKind::Even, PolicyKind::Dynamic}) {
+            CoRunJob job;
+            job.apps = {pair.first, pair.second};
+            job.kind = kind;
+            if (kind == PolicyKind::Dynamic)
+                job.opts.slicer = scaledSlicerOptions(window);
+            batch.push_back(job);
+        }
+        if (run_oracle) {
+            const std::vector<KernelParams> apps = {
+                benchmark(pair.first), benchmark(pair.second)};
+            for (const std::vector<int> &combo :
+                 enumerateFeasibleCombos(apps, cfg)) {
+                CoRunJob job;
+                job.apps = {pair.first, pair.second};
+                job.kind = PolicyKind::LeftOver;
+                job.opts.fixedQuotas = combo;
+                batch.push_back(job);
+            }
+        }
+    }
+    first_job.push_back(batch.size());
+
+    const std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, jobs);
+
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        const WorkloadPair &pair = pairs[p];
         const std::vector<KernelParams> apps = {benchmark(pair.first),
                                                 benchmark(pair.second)};
-        const std::vector<std::uint64_t> targets = {
-            chars.target(pair.first), chars.target(pair.second)};
-
-        CoRunOptions opts;
-        opts.slicer = scaledSlicerOptions(window);
-        const CoRunResult left =
-            runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
-        const CoRunResult spatial =
-            runCoSchedule(apps, targets, PolicyKind::Spatial, cfg);
-        const CoRunResult even =
-            runCoSchedule(apps, targets, PolicyKind::Even, cfg);
-        const CoRunResult dynamic = runCoSchedule(
-            apps, targets, PolicyKind::Dynamic, cfg, opts);
+        const CoRunResult &left = results[first_job[p] + 0];
+        const CoRunResult &spatial = results[first_job[p] + 1];
+        const CoRunResult &even = results[first_job[p] + 2];
+        const CoRunResult &dynamic = results[first_job[p] + 3];
 
         // Oracle: the best of every approach, including every feasible
         // fixed CTA combination (exhaustive, as in the paper).
         double oracle = std::max({left.sysIpc, spatial.sysIpc,
                                   even.sysIpc, dynamic.sysIpc});
-        if (run_oracle) {
-            for (const std::vector<int> &combo :
-                 enumerateFeasibleCombos(apps, cfg)) {
-                CoRunOptions opts;
-                opts.fixedQuotas = combo;
-                const CoRunResult r = runCoSchedule(
-                    apps, targets, PolicyKind::LeftOver, cfg, opts);
-                oracle = std::max(oracle, r.sysIpc);
-            }
-        }
+        for (std::size_t j = first_job[p] + 4; j < first_job[p + 1];
+             ++j)
+            oracle = std::max(oracle, results[j].sysIpc);
 
         Row row;
         row.category = pair.category;

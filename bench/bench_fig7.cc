@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -72,22 +73,32 @@ main()
     const Cycle window = defaultWindow();
     Characterization chars(cfg, window);
 
-    std::map<PolicyKind, Accum> acc;
-    for (const WorkloadPair &pair : evaluationPairs()) {
-        const std::vector<KernelParams> apps = {benchmark(pair.first),
-                                                benchmark(pair.second)};
-        const std::vector<std::uint64_t> targets = {
-            chars.target(pair.first), chars.target(pair.second)};
-        const bool cache_pair = pair.category == "Compute+Cache";
-        for (PolicyKind kind :
-             {PolicyKind::LeftOver, PolicyKind::Spatial,
-              PolicyKind::Even, PolicyKind::Dynamic}) {
-            CoRunOptions opts;
-            opts.slicer = scaledSlicerOptions(window);
-            const CoRunResult r =
-                runCoSchedule(apps, targets, kind, cfg, opts);
-            acc[kind].add(r.stats, cfg, cache_pair);
+    // One batch over the pair x policy matrix; results accumulate in
+    // construction order, identical to the serial nested loops.
+    const std::vector<WorkloadPair> pairs = evaluationPairs();
+    constexpr PolicyKind kinds[] = {PolicyKind::LeftOver,
+                                    PolicyKind::Spatial,
+                                    PolicyKind::Even,
+                                    PolicyKind::Dynamic};
+    std::vector<CoRunJob> batch;
+    for (const WorkloadPair &pair : pairs) {
+        for (PolicyKind kind : kinds) {
+            CoRunJob job;
+            job.apps = {pair.first, pair.second};
+            job.kind = kind;
+            job.opts.slicer = scaledSlicerOptions(window);
+            batch.push_back(job);
         }
+    }
+    const std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, defaultJobs());
+
+    std::map<PolicyKind, Accum> acc;
+    std::size_t idx = 0;
+    for (const WorkloadPair &pair : pairs) {
+        const bool cache_pair = pair.category == "Compute+Cache";
+        for (PolicyKind kind : kinds)
+            acc[kind].add(results[idx++].stats, cfg, cache_pair);
     }
 
     const Accum &even = acc[PolicyKind::Even];

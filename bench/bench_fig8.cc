@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -25,26 +26,32 @@ main()
     std::printf("%-16s %8s %8s %8s   %-10s\n", "Combo", "Spatial",
                 "Even", "Dynamic", "Dyn CTAs");
 
-    std::vector<double> sp, ev, dy;
-    for (const auto &triple : evaluationTriples()) {
-        std::vector<KernelParams> apps;
-        std::vector<std::uint64_t> targets;
-        std::string label;
-        for (const std::string &name : triple) {
-            apps.push_back(benchmark(name));
-            targets.push_back(chars.target(name));
-            label += (label.empty() ? "" : "_") + name;
+    const auto triples = evaluationTriples();
+    std::vector<CoRunJob> batch;
+    for (const auto &triple : triples) {
+        for (PolicyKind kind :
+             {PolicyKind::LeftOver, PolicyKind::Spatial,
+              PolicyKind::Even, PolicyKind::Dynamic}) {
+            CoRunJob job;
+            job.apps = triple;
+            job.kind = kind;
+            if (kind == PolicyKind::Dynamic)
+                job.opts.slicer = scaledSlicerOptions(window);
+            batch.push_back(job);
         }
-        const CoRunResult left =
-            runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
-        const CoRunResult spatial =
-            runCoSchedule(apps, targets, PolicyKind::Spatial, cfg);
-        const CoRunResult even =
-            runCoSchedule(apps, targets, PolicyKind::Even, cfg);
-        CoRunOptions opts;
-        opts.slicer = scaledSlicerOptions(window);
-        const CoRunResult dynamic = runCoSchedule(
-            apps, targets, PolicyKind::Dynamic, cfg, opts);
+    }
+    const std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, defaultJobs());
+
+    std::vector<double> sp, ev, dy;
+    for (std::size_t t = 0; t < triples.size(); ++t) {
+        std::string label;
+        for (const std::string &name : triples[t])
+            label += (label.empty() ? "" : "_") + name;
+        const CoRunResult &left = results[4 * t + 0];
+        const CoRunResult &spatial = results[4 * t + 1];
+        const CoRunResult &even = results[4 * t + 2];
+        const CoRunResult &dynamic = results[4 * t + 3];
 
         sp.push_back(spatial.sysIpc / left.sysIpc);
         ev.push_back(even.sysIpc / left.sysIpc);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -32,20 +33,28 @@ runSet(const std::vector<std::vector<std::string>> &sets,
        const GpuConfig &cfg, Characterization &chars, Cycle window,
        std::map<PolicyKind, Totals> &out)
 {
+    (void)cfg;
+    constexpr PolicyKind kinds[] = {PolicyKind::LeftOver,
+                                    PolicyKind::Spatial,
+                                    PolicyKind::Even,
+                                    PolicyKind::Dynamic};
+    std::vector<CoRunJob> batch;
     for (const auto &names : sets) {
-        std::vector<KernelParams> apps;
-        std::vector<std::uint64_t> targets;
-        for (const std::string &name : names) {
-            apps.push_back(benchmark(name));
-            targets.push_back(chars.target(name));
+        for (PolicyKind kind : kinds) {
+            CoRunJob job;
+            job.apps = names;
+            job.kind = kind;
+            job.opts.slicer = scaledSlicerOptions(window);
+            batch.push_back(job);
         }
-        for (PolicyKind kind :
-             {PolicyKind::LeftOver, PolicyKind::Spatial,
-              PolicyKind::Even, PolicyKind::Dynamic}) {
-            CoRunOptions opts;
-            opts.slicer = scaledSlicerOptions(window);
-            CoRunResult r =
-                runCoSchedule(apps, targets, kind, cfg, opts);
+    }
+    std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, defaultJobs());
+
+    std::size_t idx = 0;
+    for (const auto &names : sets) {
+        for (PolicyKind kind : kinds) {
+            CoRunResult &r = results[idx++];
             for (std::size_t i = 0; i < names.size(); ++i)
                 r.apps[i].aloneCycles = chars.aloneCycles(names[i]);
             out[kind].fairness.push_back(minimumSpeedup(r.apps));

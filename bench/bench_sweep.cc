@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Wall-clock benchmark for the parallel experiment engine: runs the
+ * full 30-pair x 4-policy evaluation matrix twice — serially and on
+ * `--jobs` worker threads — verifies the two result sets are
+ * bit-identical, and reports the speedup.
+ *
+ * Usage: bench_sweep [--quick] [--jobs N] [--out FILE]
+ *   --quick   evaluate only the first 6 pairs (CI-sized)
+ *   --jobs N  worker threads for the parallel pass (default WSL_JOBS,
+ *             0 = all hardware threads)
+ *   --out F   JSON report path (default BENCH_sweep.json)
+ *
+ * The solo-characterization cache is cleared before each pass so both
+ * measure the complete pipeline (characterization + co-run matrix).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/parallel.hh"
+#include "harness/runner.hh"
+#include "harness/solo_cache.hh"
+
+using namespace wsl;
+
+namespace {
+
+bool
+sameStats(const GpuStats &a, const GpuStats &b)
+{
+    bool same = true;
+    SmStats::forEachField([&](const char *, auto member) {
+        if (a.*member != b.*member)
+            same = false;
+    });
+    PartitionStats::forEachField([&](const char *, auto member) {
+        if (a.*member != b.*member)
+            same = false;
+    });
+    return same;
+}
+
+bool
+sameResult(const CoRunResult &a, const CoRunResult &b)
+{
+    if (a.makespan != b.makespan || a.sysIpc != b.sysIpc ||
+        a.completed != b.completed ||
+        a.spatialFallback != b.spatialFallback ||
+        a.chosenCtas != b.chosenCtas || a.apps.size() != b.apps.size())
+        return false;
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        if (a.apps[i].insts != b.apps[i].insts ||
+            a.apps[i].cycles != b.apps[i].cycles)
+            return false;
+    }
+    return sameStats(a.stats, b.stats);
+}
+
+double
+timedRun(Characterization &chars, const std::vector<CoRunJob> &batch,
+         unsigned jobs, std::vector<CoRunResult> &out)
+{
+    SoloCache::global().clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    out = runCoScheduleBatch(chars, batch, jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    unsigned jobs = defaultJobs();
+    std::string out_path = "BENCH_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            jobs = parseJobs(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--jobs N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const GpuConfig cfg = GpuConfig::baseline();
+    const Cycle window = defaultWindow();
+    Characterization chars(cfg, window);
+
+    std::vector<WorkloadPair> pairs = evaluationPairs();
+    if (quick && pairs.size() > 6)
+        pairs.resize(6);
+
+    std::vector<CoRunJob> batch;
+    for (const WorkloadPair &pair : pairs) {
+        for (PolicyKind kind :
+             {PolicyKind::LeftOver, PolicyKind::Spatial,
+              PolicyKind::Even, PolicyKind::Dynamic}) {
+            CoRunJob job;
+            job.apps = {pair.first, pair.second};
+            job.kind = kind;
+            if (kind == PolicyKind::Dynamic)
+                job.opts.slicer = scaledSlicerOptions(window);
+            batch.push_back(job);
+        }
+    }
+
+    std::printf("sweep: %zu pairs, %zu jobs, window %llu cycles\n",
+                pairs.size(), batch.size(),
+                static_cast<unsigned long long>(window));
+
+    std::vector<CoRunResult> serial, parallel;
+    const double t_serial = timedRun(chars, batch, 1, serial);
+    std::printf("serial:   %7.2fs (1 thread)\n", t_serial);
+    const double t_parallel = timedRun(chars, batch, jobs, parallel);
+    std::printf("parallel: %7.2fs (%u threads)\n", t_parallel, jobs);
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = sameResult(serial[i], parallel[i]);
+    const double speedup = t_parallel > 0 ? t_serial / t_parallel : 0;
+    std::printf("speedup:  %7.2fx   results %s\n", speedup,
+                identical ? "bit-identical" : "DIVERGED");
+
+    std::ofstream os(out_path);
+    if (os) {
+        os << "{\n"
+           << "  \"pairs\": " << pairs.size() << ",\n"
+           << "  \"sim_jobs\": " << batch.size() << ",\n"
+           << "  \"window_cycles\": " << window << ",\n"
+           << "  \"threads\": " << jobs << ",\n"
+           << "  \"serial_seconds\": " << t_serial << ",\n"
+           << "  \"parallel_seconds\": " << t_parallel << ",\n"
+           << "  \"speedup\": " << speedup << ",\n"
+           << "  \"identical\": " << (identical ? "true" : "false")
+           << "\n}\n";
+        std::printf("(wrote %s)\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    }
+    return identical ? 0 : 1;
+}

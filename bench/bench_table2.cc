@@ -8,7 +8,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace wsl;
@@ -27,8 +29,14 @@ main()
                 "App", "Inst", "Reg", "Shm", "ALU", "SFU", "LS",
                 "Griddim", "Blkdim", "L2 MPKI", "Type", "Profile%");
 
-    for (const KernelParams &k : allBenchmarks()) {
-        const SoloResult r = runSoloForCycles(k, cfg, window);
+    const std::vector<KernelParams> &benches = allBenchmarks();
+    const std::vector<SoloResult> runs = parallelMap<SoloResult>(
+        benches.size(), defaultJobs(), [&](std::size_t i) {
+            return runSoloForCycles(benches[i], cfg, window);
+        });
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const KernelParams &k = benches[b];
+        const SoloResult &r = runs[b];
         const GpuStats &s = r.stats;
         const double cycles_all =
             static_cast<double>(s.cycles) * cfg.numSms;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Index-advancing FIFO over a contiguous buffer. Replaces the
+ * erase-from-front / std::deque patterns on simulator hot paths:
+ * pop() advances a head index instead of shifting elements, and the
+ * buffer is compacted only when the dead prefix dominates, so both
+ * push and pop are amortized O(1) with vector locality.
+ */
+
+#ifndef WSL_COMMON_RING_HH
+#define WSL_COMMON_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace wsl {
+
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return head == buf.size(); }
+    std::size_t size() const { return buf.size() - head; }
+
+    void push(const T &value) { buf.push_back(value); }
+    void push(T &&value) { buf.push_back(std::move(value)); }
+
+    T &front() { return buf[head]; }
+    const T &front() const { return buf[head]; }
+
+    void
+    pop()
+    {
+        ++head;
+        if (head == buf.size()) {
+            buf.clear();
+            head = 0;
+        } else if (head >= compactThreshold && head * 2 >= buf.size()) {
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(head));
+            head = 0;
+        }
+    }
+
+    void
+    clear()
+    {
+        buf.clear();
+        head = 0;
+    }
+
+    // Iteration covers only the live [head, end) range.
+    auto begin() { return buf.begin() + static_cast<std::ptrdiff_t>(head); }
+    auto end() { return buf.end(); }
+    auto begin() const
+    {
+        return buf.begin() + static_cast<std::ptrdiff_t>(head);
+    }
+    auto end() const { return buf.end(); }
+
+  private:
+    static constexpr std::size_t compactThreshold = 64;
+
+    std::vector<T> buf;
+    std::size_t head = 0;
+};
+
+} // namespace wsl
+
+#endif // WSL_COMMON_RING_HH

@@ -111,6 +111,7 @@ class TimeSlicePolicy : public SlicingPolicy
     void tick(Gpu &gpu, Cycle now) override;
     bool mayDispatch(const Gpu &gpu, SmId sm,
                      KernelId kid) const override;
+    bool timeInvariant() const override { return false; }
 
     KernelId currentOwner() const { return owner; }
 

@@ -71,6 +71,7 @@ class WarpedSlicerPolicy : public SlicingPolicy
     void tick(Gpu &gpu, Cycle now) override;
     bool mayDispatch(const Gpu &gpu, SmId sm,
                      KernelId kid) const override;
+    bool timeInvariant() const override { return false; }
 
     // ---- Observability (tests, Table III reporting) ----
 

@@ -41,6 +41,18 @@ Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
 void
 Gpu::dispatch()
 {
+    // Nothing left to place? Skip the SM x kernel scan entirely (the
+    // common steady state once every grid is fully launched).
+    bool pending = false;
+    for (const auto &kern_ptr : kernels) {
+        if (kern_ptr->hasCtasToIssue()) {
+            pending = true;
+            break;
+        }
+    }
+    if (!pending)
+        return;
+
     // Kernel-aware thread-block scheduler: kernels are considered in
     // table order; the policy's quotas and SM masks carve up the SMs.
     for (auto &sm_ptr : sms) {
@@ -75,6 +87,9 @@ Gpu::routeMemory()
     // SM -> partition requests, respecting per-partition queue limits.
     for (auto &sm_ptr : sms) {
         auto &out = sm_ptr->outgoingRequests();
+        if (out.empty())
+            continue;
+        const std::size_t had = out.size();
         std::size_t kept = 0;
         for (std::size_t i = 0; i < out.size(); ++i) {
             MemPartition &part =
@@ -86,6 +101,8 @@ Gpu::routeMemory()
                 out[kept++] = out[i];
         }
         out.resize(kept);
+        if (kept < had)
+            sm_ptr->noteOutgoingDrained();
     }
 
     for (auto &part : partitions) {
@@ -121,10 +138,13 @@ Gpu::checkKernelProgress()
         KernelInstance &k = *kern_ptr;
         if (k.done)
             continue;
-        const bool target_hit =
-            k.instTarget > 0 && kernelThreadInsts(k.id) >= k.instTarget;
+        // Check the cheap grid predicate first: the 16-SM instruction
+        // sum only matters for target-bounded runs that are still going.
         const bool grid_done = k.nextCta >= k.params.gridDim &&
                                k.ctasCompleted >= k.params.gridDim;
+        const bool target_hit =
+            !grid_done && k.instTarget > 0 &&
+            kernelThreadInsts(k.id) >= k.instTarget;
         if (target_hit || grid_done) {
             k.done = true;
             k.halted = target_hit && !grid_done;
@@ -148,8 +168,14 @@ Gpu::tick()
 {
     policy->tick(*this, now);
     dispatch();
-    for (auto &sm_ptr : sms)
-        sm_ptr->tick(now);
+    for (auto &sm_ptr : sms) {
+        // A drained core can only burn Idle slots this cycle; account
+        // them in bulk instead of running the pipeline stages.
+        if (sm_ptr->quiescent(now))
+            sm_ptr->skipTick();
+        else
+            sm_ptr->tick(now);
+    }
     routeMemory();
     drainCtaEvents();
     checkKernelProgress();
@@ -170,12 +196,43 @@ Gpu::attachTelemetry(TelemetrySampler *sampler)
         telem->bind(*this);
 }
 
-void
+bool
+Gpu::quiescentFixpoint() const
+{
+    // Proven stable state: no CTAs left to place (dispatch is a no-op
+    // for every policy), every SM drained, every partition idle. With
+    // a time-invariant policy and no telemetry sampler attached, a
+    // tick from here changes nothing but the cycle/Idle counters, so
+    // the remaining window can be accounted in one step.
+    for (const auto &kern_ptr : kernels)
+        if (kern_ptr->hasCtasToIssue())
+            return false;
+    for (const auto &sm_ptr : sms)
+        if (!sm_ptr->quiescent(now))
+            return false;
+    for (const auto &part : partitions)
+        if (part->busy())
+            return false;
+    return true;
+}
+
+Cycle
 Gpu::run(Cycle max_cycles)
 {
+    const Cycle start = now;
     const Cycle end = now + max_cycles;
-    while (now < end && !allKernelsDone())
+    while (now < end && !allKernelsDone()) {
+        if (!telem && policy->timeInvariant() && quiescentFixpoint()) {
+            // Fast-forward the rest of the window in one step.
+            const Cycle remaining = end - now;
+            for (auto &sm_ptr : sms)
+                sm_ptr->skipTick(remaining);
+            now = end;
+            break;
+        }
         tick();
+    }
+    return now - start;
 }
 
 bool

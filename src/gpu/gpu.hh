@@ -45,8 +45,15 @@ class Gpu
     /** Advance one core cycle. */
     void tick();
 
-    /** Tick until every kernel is done or `max_cycles` elapse. */
-    void run(Cycle max_cycles);
+    /**
+     * Tick until every kernel is done or `max_cycles` elapse, and
+     * return the cycles actually simulated (less than `max_cycles`
+     * when the kernels drain early). Fully quiescent stretches — no
+     * CTAs left to issue, every SM and partition drained, a
+     * time-invariant policy, no telemetry sampler — are fast-forwarded
+     * in one step with identical statistics.
+     */
+    Cycle run(Cycle max_cycles);
 
     Cycle cycle() const { return now; }
     bool allKernelsDone() const;
@@ -95,6 +102,7 @@ class Gpu
     void routeMemory();
     void drainCtaEvents();
     void checkKernelProgress();
+    bool quiescentFixpoint() const;
 
     const GpuConfig cfg;
     std::unique_ptr<SlicingPolicy> policy;

@@ -49,6 +49,16 @@ class SlicingPolicy
         (void)kid;
         return true;
     }
+
+    /**
+     * True when tick() is a no-op and dispatch decisions depend only
+     * on GPU state, never on the cycle count. Lets Gpu::run()
+     * fast-forward through fully quiescent stretches (nothing left to
+     * dispatch, every SM and partition drained) instead of ticking
+     * cycle by cycle. Policies with temporal behavior — profiling
+     * windows, time slices — must override this to false.
+     */
+    virtual bool timeInvariant() const { return true; }
 };
 
 } // namespace wsl

@@ -8,6 +8,8 @@
 
 #include "common/log.hh"
 #include "core/policies.hh"
+#include "harness/parallel.hh"
+#include "harness/solo_cache.hh"
 #include "telemetry/telemetry.hh"
 
 namespace wsl {
@@ -212,13 +214,42 @@ Characterization::Characterization(const GpuConfig &c, Cycle window)
 const SoloResult &
 Characterization::solo(const std::string &name)
 {
-    auto it = cache.find(name);
-    if (it == cache.end()) {
-        it = cache.emplace(name, runSoloForCycles(benchmark(name), cfg,
-                                                  windowCycles))
-                 .first;
-    }
-    return it->second;
+    return SoloCache::global().get(benchmark(name), cfg, windowCycles);
+}
+
+void
+Characterization::prewarm(const std::vector<std::string> &names,
+                          unsigned jobs)
+{
+    std::vector<std::string> unique(names);
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()),
+                 unique.end());
+    parallelFor(unique.size(), jobs,
+                [&](std::size_t i) { solo(unique[i]); });
+}
+
+std::vector<CoRunResult>
+runCoScheduleBatch(Characterization &chars,
+                   const std::vector<CoRunJob> &batch, unsigned jobs)
+{
+    std::vector<std::string> names;
+    for (const CoRunJob &job : batch)
+        names.insert(names.end(), job.apps.begin(), job.apps.end());
+    chars.prewarm(names, jobs);
+
+    return parallelMap<CoRunResult>(
+        batch.size(), jobs, [&](std::size_t i) {
+            const CoRunJob &job = batch[i];
+            std::vector<KernelParams> apps;
+            std::vector<std::uint64_t> targets;
+            for (const std::string &name : job.apps) {
+                apps.push_back(benchmark(name));
+                targets.push_back(chars.target(name));
+            }
+            return runCoSchedule(apps, targets, job.kind,
+                                 chars.config(), job.opts);
+        });
 }
 
 std::uint64_t

@@ -12,7 +12,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -127,8 +126,10 @@ CoRunResult runCoSchedule(const std::vector<KernelParams> &apps,
                           const CoRunOptions &opts = {});
 
 /**
- * Benchmark characterization cache: thread-instruction targets and solo
+ * Benchmark characterization: thread-instruction targets and solo
  * statistics from a `window`-cycle isolated run of each benchmark.
+ * Results are memoized in the process-wide SoloCache, so concurrent
+ * lookups are safe and repeated windows/configs never re-simulate.
  */
 class Characterization
 {
@@ -144,14 +145,39 @@ class Characterization
     /** Solo cycles to reach the benchmark's own target ( == window). */
     Cycle aloneCycles(const std::string &name);
 
+    /**
+     * Characterize `names` (duplicates welcome) up front, fanning the
+     * solo runs out over `jobs` worker threads. Purely a warm-up: the
+     * later lazy lookups then all hit the cache.
+     */
+    void prewarm(const std::vector<std::string> &names, unsigned jobs);
+
     Cycle window() const { return windowCycles; }
     const GpuConfig &config() const { return cfg; }
 
   private:
     GpuConfig cfg;
     Cycle windowCycles;
-    std::map<std::string, SoloResult> cache;
 };
+
+/** One entry of a parallel co-run sweep. */
+struct CoRunJob
+{
+    std::vector<std::string> apps;  //!< benchmark names to co-run
+    PolicyKind kind = PolicyKind::LeftOver;
+    CoRunOptions opts{};  //!< per-job telemetry samplers must be distinct
+};
+
+/**
+ * Evaluate a batch of co-run jobs on `jobs` worker threads: solo
+ * characterizations for every referenced benchmark first (memoized, in
+ * parallel), then the co-run matrix. Results come back in input order
+ * and are bit-identical to running each job serially — every
+ * simulation is self-contained and seeded from its own config.
+ */
+std::vector<CoRunResult> runCoScheduleBatch(
+    Characterization &chars, const std::vector<CoRunJob> &batch,
+    unsigned jobs);
 
 /**
  * Enumerate feasible CTA-quota combinations (each kernel >= 1 CTA, all

@@ -24,6 +24,10 @@ MemPartition::tick(Cycle now)
         mshrHist.record(l2.mshrsInUse());
         dramHist.record(dram.queueDepth());
     }
+    // Idle partition: nothing queued, nothing in flight. (Telemetry
+    // above still samples the zero depths so histograms are unchanged.)
+    if (reqQueue.empty() && !dram.busy())
+        return;
     // Retire DRAM work first so fills can satisfy same-cycle arrivals.
     dramDone.clear();
     dram.tick(now, dramDone);
@@ -79,7 +83,7 @@ MemPartition::tick(Cycle now)
                 panic("L2 read blocked after canAcceptRead precheck");
             }
         }
-        reqQueue.pop_front();
+        reqQueue.pop();
         ++served;
     }
 }

@@ -7,11 +7,11 @@
 #ifndef WSL_MEM_PARTITION_HH
 #define WSL_MEM_PARTITION_HH
 
-#include <deque>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/histogram.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -32,7 +32,7 @@ class MemPartition
     bool canAcceptRequest() const { return reqQueue.size() < 64; }
 
     /** Enqueue a request from the interconnect. */
-    void pushRequest(const MemRequest &req) { reqQueue.push_back(req); }
+    void pushRequest(const MemRequest &req) { reqQueue.push(req); }
 
     /** Advance one core cycle. */
     void tick(Cycle now);
@@ -66,7 +66,7 @@ class MemPartition
     [[maybe_unused]] unsigned index;
     Cache l2;
     DramChannel dram;
-    std::deque<MemRequest> reqQueue;
+    RingQueue<MemRequest> reqQueue;
     std::vector<MemResponse> outResponses;
     std::vector<DramCompletion> dramDone;  //!< scratch, reused per tick
     PartitionStats l2Stats;

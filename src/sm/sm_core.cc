@@ -40,6 +40,7 @@ SmCore::SmCore(const GpuConfig &c, SmId id)
     lastIssued.assign(cfg.numSchedulers, -1);
     rrPos.assign(cfg.numSchedulers, 0);
     aluBusyUntil.assign(cfg.numSchedulers, 0);
+    scanCache.resize(cfg.numSchedulers);
     quotas.fill(-1);
 }
 
@@ -102,7 +103,7 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
         w.age = ageCounter++;
         cta.warpIdxs.push_back(widx);
         schedLists[widx % cfg.numSchedulers].push_back(widx);
-        fetchQueue.push_back({widx, w.epoch});
+        fetchQueue.push({widx, w.epoch});
         ++liveWarps;
     }
     // Stash the kernel base in the CTA by encoding it per-warp at
@@ -110,6 +111,7 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
     cta.kernelBase = kernel_base;
     ++resident[kid];
     ++smStats.ctasLaunched;
+    invalidateScanCache();
     (void)now;
     return true;
 }
@@ -133,7 +135,8 @@ SmCore::completeCta(int cta_idx)
 {
     CtaSlot &cta = ctas[cta_idx];
     WSL_ASSERT(cta.active, "completing inactive CTA");
-    removeFromSchedLists(cta);
+    // Every warp already left the scheduler lists in finishWarp();
+    // only the slot bookkeeping remains.
     for (std::uint16_t widx : cta.warpIdxs) {
         WarpState &w = warps[widx];
         if (w.active && !w.finished)
@@ -174,6 +177,7 @@ SmCore::evictKernel(KernelId kid)
         cta.warpIdxs.clear();
     }
     resident[kid] = 0;
+    invalidateScanCache();
 }
 
 unsigned
@@ -236,12 +240,16 @@ SmCore::completeLoadTransaction(std::uint16_t load_idx, Cycle now)
                "completing an idle load entry");
     if (--load.transLeft == 0) {
         WarpState &w = warps[load.warp];
-        if (w.epoch == load.epoch)
+        if (w.epoch == load.epoch) {
             w.pendingLong &= ~load.regMask;
+            invalidateScanCache();  // a stalled warp may now be ready
+        }
         if (recordTelemetry && load.kernel != invalidKernel)
             memLatency[load.kernel].record(
                 static_cast<std::uint32_t>(now) - load.issuedAt);
         load.valid = false;
+        WSL_ASSERT(activeLoads > 0, "active-load underflow");
+        --activeLoads;
         freeLoads.push_back(load_idx);
     }
 }
@@ -255,6 +263,7 @@ SmCore::maybeReleaseBarrier(CtaSlot &cta)
     for (std::uint16_t widx : cta.warpIdxs)
         warps[widx].atBarrier = false;
     cta.barrierWaiting = 0;
+    invalidateScanCache();  // released warps are schedulable again
 }
 
 void
@@ -264,6 +273,12 @@ SmCore::finishWarp(std::uint16_t widx)
     WSL_ASSERT(w.active && !w.finished, "double finish");
     w.finished = true;
     --liveWarps;
+    // Active-warp index: drop the warp from its scheduler list now so
+    // issue scans touch only live warps, instead of skipping finished
+    // slots every cycle until the whole CTA retires.
+    auto &list = schedLists[widx % cfg.numSchedulers];
+    list.erase(std::find(list.begin(), list.end(), widx));
+    invalidateScanCache();
     CtaSlot &cta = ctas[w.ctaSlot];
     if (w.atBarrier) {
         w.atBarrier = false;
@@ -304,7 +319,7 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
             finishWarp(widx);
     }
     if (w.active && !w.finished && w.ibuf == 0 && !w.fetchPending)
-        fetchQueue.push_back({widx, w.epoch});
+        fetchQueue.push({widx, w.epoch});
 }
 
 SmCore::IssueOutcome
@@ -367,6 +382,10 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
 {
     CtaSlot &cta = ctas[w.ctaSlot];
     const KernelParams &params = *cta.params;
+    // Issuing mutates shared structural state (pipeline busy-untils,
+    // outgoing queue, MSHRs, scoreboards): cached failed scans of the
+    // sibling schedulers are no longer reproducible.
+    invalidateScanCache();
 
     const unsigned live_lanes =
         static_cast<unsigned>(std::popcount(w.activeMask));
@@ -427,6 +446,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                             static_cast<std::uint16_t>(trans), true,
                             static_cast<std::int8_t>(w.kernel),
                             static_cast<std::uint32_t>(now)};
+            ++activeLoads;
             w.pendingLong |= dst_bit;
             for (unsigned t = 0; t < trans; ++t) {
                 const Addr line = lineAddr(genAddress(
@@ -510,16 +530,34 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
 }
 
 void
+SmCore::chargeStall(StallKind kind, int culprit)
+{
+    ++smStats.stalls[static_cast<unsigned>(kind)];
+    if (recordTelemetry) {
+        if (culprit != invalidKernel)
+            ++smStats.kernelStalls[culprit][static_cast<unsigned>(kind)];
+        else
+            ++smStats.unattributedStalls[static_cast<unsigned>(kind)];
+    }
+}
+
+void
 SmCore::runScheduler(unsigned sched, Cycle now)
 {
     auto &list = schedLists[sched];
     if (list.empty()) {
-        ++smStats.stalls[static_cast<unsigned>(StallKind::Idle)];
-        if (recordTelemetry)
-            ++smStats.unattributedStalls[
-                static_cast<unsigned>(StallKind::Idle)];
+        chargeStall(StallKind::Idle, invalidKernel);
         return;
     }
+
+    // Replay a memoized failed scan while nothing changed: same warps,
+    // same blockers, same majority stall, same culprit kernel.
+    ScanCacheEntry &memo = scanCache[sched];
+    if (memo.valid && now < memo.validUntil) {
+        chargeStall(memo.kind, memo.culprit);
+        return;
+    }
+    memo.valid = false;
 
     unsigned counts[6] = {0, 0, 0, 0, 0, 0};
     // Per-kernel outcome counts feed stall attribution; zeroing and
@@ -621,13 +659,21 @@ SmCore::runScheduler(unsigned sched, Cycle now)
             }
         }
     }
-    ++smStats.stalls[static_cast<unsigned>(kind)];
-    if (attribute) {
-        if (culprit != invalidKernel)
-            ++smStats.kernelStalls[culprit][static_cast<unsigned>(kind)];
-        else
-            ++smStats.unattributedStalls[static_cast<unsigned>(kind)];
-    }
+    chargeStall(kind, culprit);
+
+    // Memoize until an event or a pipeline busy-until horizon could
+    // change some warp's issue outcome.
+    Cycle horizon = ~Cycle{0};
+    if (aluBusyUntil[sched] > now)
+        horizon = std::min(horizon, aluBusyUntil[sched]);
+    if (sfuBusyUntil > now)
+        horizon = std::min(horizon, sfuBusyUntil);
+    if (ldstBusyUntil > now)
+        horizon = std::min(horizon, ldstBusyUntil);
+    memo.valid = true;
+    memo.validUntil = horizon;
+    memo.kind = kind;
+    memo.culprit = static_cast<std::int8_t>(culprit);
 }
 
 void
@@ -635,9 +681,9 @@ SmCore::runFetch(Cycle now)
 {
     // Start refills for queued warps, FIFO, up to fetchWidth per cycle.
     unsigned started = 0;
-    std::size_t consumed = 0;
-    while (started < cfg.fetchWidth && consumed < fetchQueue.size()) {
-        const FetchEntry entry = fetchQueue[consumed++];
+    while (started < cfg.fetchWidth && !fetchQueue.empty()) {
+        const FetchEntry entry = fetchQueue.front();
+        fetchQueue.pop();
         WarpState &w = warps[entry.warp];
         if (!w.active || w.finished || w.epoch != entry.epoch ||
             w.fetchPending || w.ibuf > 0) {
@@ -656,9 +702,6 @@ SmCore::runFetch(Cycle now)
             ++smStats.ifetchMisses;
         ++started;
     }
-    if (consumed > 0)
-        fetchQueue.erase(fetchQueue.begin(),
-                         fetchQueue.begin() + consumed);
 }
 
 void
@@ -689,8 +732,10 @@ SmCore::tick(Cycle now)
     auto &wb = wbWheel[now % wheelSize];
     for (const WbEntry &e : wb) {
         WarpState &w = warps[e.warp];
-        if (w.epoch == e.epoch)
+        if (w.epoch == e.epoch) {
             w.pendingShort &= ~e.regMask;
+            invalidateScanCache();  // a ShortWait warp may now be ready
+        }
     }
     wb.clear();
 
@@ -702,6 +747,7 @@ SmCore::tick(Cycle now)
             w.fetchPending && w.fetchReadyAt <= now) {
             w.fetchPending = false;
             w.ibuf = cfg.ibufferEntries;
+            invalidateScanCache();  // Empty outcome flips to issuable
         }
     }
     fetch_done.clear();
@@ -719,6 +765,9 @@ SmCore::tick(Cycle now)
             for (std::uint64_t token : fill.tokens)
                 completeLoadTransaction(
                     static_cast<std::uint16_t>(token), now);
+            // Even a fill whose loads are still partial frees an MSHR,
+            // which can flip the tryIssue MSHR-availability precheck.
+            invalidateScanCache();
             respQueue[i] = respQueue.back();
             respQueue.pop_back();
         } else {
@@ -729,6 +778,23 @@ SmCore::tick(Cycle now)
     for (unsigned s = 0; s < cfg.numSchedulers; ++s)
         runScheduler(s, now);
     runFetch(now);
+}
+
+void
+SmCore::skipTick(Cycle cycles)
+{
+    // A quiescent core's tick() is fully determined: no warps, so the
+    // resource integrals add zero, the LDST unit is idle, the wheels
+    // hold only epoch-guarded stale entries (no-ops whenever they are
+    // eventually visited), and each scheduler charges one unattributed
+    // Idle stall. Bulk-account exactly those counters.
+    smStats.cycles += cycles;
+    const std::uint64_t slots =
+        static_cast<std::uint64_t>(cycles) * cfg.numSchedulers;
+    smStats.stalls[static_cast<unsigned>(StallKind::Idle)] += slots;
+    if (recordTelemetry)
+        smStats.unattributedStalls[static_cast<unsigned>(
+            StallKind::Idle)] += slots;
 }
 
 } // namespace wsl

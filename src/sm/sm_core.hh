@@ -16,6 +16,7 @@
 
 #include "common/config.hh"
 #include "common/histogram.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -70,10 +71,38 @@ class SmCore
     /** True if no live warps are resident. */
     bool idle() const { return liveWarps == 0; }
 
+    /**
+     * True when this core has no live warps and no in-flight work:
+     * ticking it can only burn Idle scheduler slots. The GPU then
+     * substitutes skipTick(), which bulk-accounts the identical
+     * counters without running the pipeline.
+     */
+    bool
+    quiescent(Cycle now) const
+    {
+        return liveWarps == 0 && activeLoads == 0 &&
+               outRequests.empty() && respQueue.empty() &&
+               ldstBusyUntil <= now;
+    }
+
+    /**
+     * Account `cycles` fully idle cycles exactly as ticking a
+     * quiescent core would (cycles counter + Idle stall slots), without
+     * touching the pipeline. Only valid while quiescent() holds.
+     */
+    void skipTick(Cycle cycles = 1);
+
     // ---- Memory-system interface (driven by the GPU object) ----
 
     /** Requests awaiting routing to memory partitions. */
     std::vector<MemRequest> &outgoingRequests() { return outRequests; }
+
+    /**
+     * Notification that the GPU drained entries from outgoingRequests():
+     * memory-backpressure issue outcomes may have changed, so cached
+     * scheduler scans are invalid.
+     */
+    void noteOutgoingDrained() { invalidateScanCache(); }
 
     /** Deliver a line fill from a memory partition. */
     void deliverResponse(const MemResponse &resp);
@@ -94,7 +123,12 @@ class SmCore
      * latency per kernel) on or off. Off (the default) keeps the load
      * completion path free of histogram work.
      */
-    void setTelemetryRecording(bool on) { recordTelemetry = on; }
+    void
+    setTelemetryRecording(bool on)
+    {
+        recordTelemetry = on;
+        invalidateScanCache();
+    }
 
     /** Issue-to-writeback global-load latency of one kernel's accesses
      *  (populated only while telemetry recording is on). */
@@ -105,7 +139,12 @@ class SmCore
     }
 
     /** Change the warp scheduler (Figure 10b sensitivity study). */
-    void setScheduler(SchedulerKind kind) { schedKind = kind; }
+    void
+    setScheduler(SchedulerKind kind)
+    {
+        schedKind = kind;
+        invalidateScanCache();
+    }
 
   private:
     /** Why a warp could not issue this cycle. */
@@ -142,8 +181,35 @@ class SmCore
 
     static constexpr unsigned wheelSize = 256;
 
+    /**
+     * Memoized outcome of a failed (nothing-issued) scheduler scan.
+     * A failed scan mutates nothing but stall counters, so until an
+     * event changes some warp's readiness — writeback, line fill,
+     * i-buffer refill, CTA launch/finish, outgoing-queue drain — or
+     * the simulation clock crosses a pipeline busy-until horizon, the
+     * next scan provably charges the same stall to the same kernel.
+     * Replaying the memo skips the O(warps) scan entirely.
+     */
+    struct ScanCacheEntry
+    {
+        bool valid = false;
+        /** First cycle at which a time-dependent (ExecBusy) outcome
+         *  could flip; ~Cycle{0} when no pipeline was busy. */
+        Cycle validUntil = 0;
+        StallKind kind = StallKind::Idle;
+        std::int8_t culprit = static_cast<std::int8_t>(invalidKernel);
+    };
+
+    void
+    invalidateScanCache()
+    {
+        for (ScanCacheEntry &entry : scanCache)
+            entry.valid = false;
+    }
+
     void runFetch(Cycle now);
     void runScheduler(unsigned sched, Cycle now);
+    void chargeStall(StallKind kind, int culprit);
     IssueOutcome tryIssue(std::uint16_t widx, unsigned sched, Cycle now);
     void executeIssue(WarpState &warp, const Instruction &inst,
                       std::uint16_t widx, unsigned sched, Cycle now);
@@ -199,11 +265,15 @@ class SmCore
     Cache l1;
     std::vector<PendingLoad> loads;
     std::vector<std::uint16_t> freeLoads;
+    unsigned activeLoads = 0;  //!< valid PendingLoad entries
     std::vector<MemRequest> outRequests;
     std::vector<MemResponse> respQueue;
 
     // Front end: warps whose i-buffer drained and need a refill.
-    std::vector<FetchEntry> fetchQueue;
+    RingQueue<FetchEntry> fetchQueue;
+
+    // Per-scheduler memo of failed issue scans (see ScanCacheEntry).
+    std::vector<ScanCacheEntry> scanCache;
 
     std::vector<KernelId> ctaCompletions;
     SmStats smStats;

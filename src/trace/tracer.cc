@@ -20,7 +20,11 @@ traceEventName(TraceEvent event)
 Tracer &
 Tracer::global()
 {
-    static Tracer tracer;
+    // One tracer per thread: the parallel experiment engine runs
+    // independent simulations on worker threads, and each must record
+    // (or, typically, skip recording) without synchronizing. The CLI
+    // enables and dumps the main thread's instance only.
+    static thread_local Tracer tracer;
     return tracer;
 }
 

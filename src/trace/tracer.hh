@@ -46,8 +46,10 @@ struct TraceRecord
 
 /**
  * Global tracer. Enable with a bounded capacity; the newest records
- * win when the ring is full. Not thread safe (the simulator is
- * single threaded).
+ * win when the ring is full. global() returns a per-thread instance:
+ * simulations fanned out by the parallel experiment engine record
+ * into (default-off) thread-local rings and never synchronize; the
+ * CLI enables and dumps only the main thread's tracer.
  */
 class Tracer
 {

@@ -186,6 +186,19 @@ TEST(Gpu, RunStopsAtCycleCap)
     EXPECT_FALSE(gpu.allKernelsDone());
 }
 
+TEST(Gpu, RunReturnsCyclesSimulatedAndStopsEarly)
+{
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(smallGrid());
+    const Cycle used = gpu.run(1'000'000);
+    ASSERT_TRUE(gpu.allKernelsDone());
+    EXPECT_EQ(used, gpu.cycle());
+    EXPECT_LT(used, 1'000'000u);  // stopped at completion, not the cap
+    // A finished machine consumes no further cycles.
+    EXPECT_EQ(gpu.run(1000), 0u);
+    EXPECT_EQ(gpu.cycle(), used);
+}
+
 TEST(Gpu, SchedulerKindAffectsExecution)
 {
     auto run_kind = [](SchedulerKind kind) {

@@ -27,7 +27,9 @@
  *       oracle's search space).
  *
  * Global options: --csv FILE | --json FILE write the result table to a
- * file in addition to the text output.
+ * file in addition to the text output. --jobs N (or WSL_JOBS) runs
+ * independent simulations on N worker threads (0 = all hardware
+ * threads); results are bit-identical to serial runs.
  */
 
 #include <cstdio>
@@ -39,6 +41,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "report/table.hh"
 #include "telemetry/telemetry.hh"
@@ -63,6 +66,7 @@ struct Options
     std::string tracePath;
     std::string timelinePath;
     Cycle statsInterval = 0;  //!< 0 = telemetry off
+    unsigned jobs = defaultJobs();  //!< worker threads (WSL_JOBS)
 };
 
 [[noreturn]] void
@@ -75,7 +79,7 @@ usage(const char *argv0)
                  "         --policy leftover|spatial|even|dynamic|"
                  "fixed:Q1,Q2[,Q3]\n"
                  "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
-                 "         --stats-interval N --timeline FILE\n",
+                 "         --stats-interval N --timeline FILE --jobs N\n",
                  argv0);
     std::exit(2);
 }
@@ -112,6 +116,8 @@ parseArgs(int argc, char **argv)
         else if (arg == "--stats-interval")
             opt.statsInterval =
                 std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--jobs")
+            opt.jobs = parseJobs(next().c_str(), "--jobs");
         else if (arg == "--csv")
             opt.csvPath = next();
         else if (arg == "--json")
@@ -200,15 +206,16 @@ cmdCurves(const Options &opt)
     const KernelParams &k = benchmark(opt.benchNames[0]);
     Table table({"ctas_per_sm", "occupancy_pct", "warp_ipc",
                  "normalized"});
-    std::vector<double> ipcs;
     const unsigned max_ctas = k.maxCtasPerSm(cfg);
+    const std::vector<double> ipcs = parallelMap<double>(
+        max_ctas, opt.jobs, [&](std::size_t i) {
+            return runSoloForCycles(k, cfg, cycles,
+                                    static_cast<int>(i + 1))
+                .warpIpc();
+        });
     double peak = 0.0;
-    for (unsigned q = 1; q <= max_ctas; ++q) {
-        const SoloResult r = runSoloForCycles(k, cfg, cycles,
-                                              static_cast<int>(q));
-        ipcs.push_back(r.warpIpc());
-        peak = std::max(peak, r.warpIpc());
-    }
+    for (double ipc : ipcs)
+        peak = std::max(peak, ipc);
     for (unsigned q = 1; q <= max_ctas; ++q) {
         table.addRow({std::to_string(q),
                       std::to_string(100 * q / max_ctas),
@@ -251,6 +258,7 @@ cmdCorun(const Options &opt)
     const GpuConfig cfg = makeConfig(opt);
     const Cycle window = opt.cycles ? opt.cycles : defaultWindow();
     Characterization chars(cfg, window);
+    chars.prewarm(opt.benchNames, opt.jobs);
 
     std::vector<KernelParams> apps;
     std::vector<std::uint64_t> targets;
@@ -382,14 +390,23 @@ cmdCombos(const Options &opt)
     const CoRunResult base =
         runCoSchedule(apps, targets, PolicyKind::LeftOver, cfg);
 
+    const auto combos = enumerateFeasibleCombos(apps, cfg);
+    std::vector<CoRunJob> batch;
+    for (const auto &combo : combos) {
+        CoRunJob job;
+        job.apps = opt.benchNames;
+        job.kind = PolicyKind::LeftOver;
+        job.opts.fixedQuotas = combo;
+        batch.push_back(job);
+    }
+    const std::vector<CoRunResult> results =
+        runCoScheduleBatch(chars, batch, opt.jobs);
+
     Table table({"ctas_0", "ctas_1", "system_ipc", "vs_leftover"});
-    for (const auto &combo : enumerateFeasibleCombos(apps, cfg)) {
-        CoRunOptions co;
-        co.fixedQuotas = combo;
-        const CoRunResult r = runCoSchedule(
-            apps, targets, PolicyKind::LeftOver, cfg, co);
-        table.addRow({std::to_string(combo[0]),
-                      std::to_string(combo[1]),
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        const CoRunResult &r = results[i];
+        table.addRow({std::to_string(combos[i][0]),
+                      std::to_string(combos[i][1]),
                       Table::num(r.sysIpc),
                       Table::num(r.sysIpc / base.sysIpc)});
     }
