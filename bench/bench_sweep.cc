@@ -1,13 +1,15 @@
 /**
  * @file
- * Wall-clock benchmark for the parallel experiment engine: runs the
- * full 30-pair x 4-policy evaluation matrix twice — serially and on
- * `--jobs` worker threads — verifies the two result sets are
- * bit-identical, and reports the speedup.
+ * Wall-clock benchmark and correctness gate for the experiment engine:
+ * runs the full 30-pair x 4-policy evaluation matrix four ways —
+ * serially and on `--jobs` worker threads, each with event-horizon
+ * clock skipping enabled (the default) and forcibly disabled
+ * (clockSkip=false, the per-cycle reference loop) — verifies all four
+ * result sets are bit-identical, and reports the speedups.
  *
  * Usage: bench_sweep [--quick] [--jobs N] [--out FILE]
  *   --quick   evaluate only the first 6 pairs (CI-sized)
- *   --jobs N  worker threads for the parallel pass (default WSL_JOBS,
+ *   --jobs N  worker threads for the parallel passes (default WSL_JOBS,
  *             0 = all hardware threads)
  *   --out F   JSON report path (default BENCH_sweep.json)
  *
@@ -97,8 +99,11 @@ main(int argc, char **argv)
     }
 
     const GpuConfig cfg = GpuConfig::baseline();
+    GpuConfig cfg_noskip = cfg;
+    cfg_noskip.clockSkip = false;
     const Cycle window = defaultWindow();
     Characterization chars(cfg, window);
+    Characterization chars_noskip(cfg_noskip, window);
 
     std::vector<WorkloadPair> pairs = evaluationPairs();
     if (quick && pairs.size() > 6)
@@ -123,17 +128,54 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(window));
 
     std::vector<CoRunResult> serial, parallel;
+    std::vector<CoRunResult> serial_ref, parallel_ref;
     const double t_serial = timedRun(chars, batch, 1, serial);
-    std::printf("serial:   %7.2fs (1 thread)\n", t_serial);
+    std::printf("serial:          %7.2fs (1 thread)\n", t_serial);
     const double t_parallel = timedRun(chars, batch, jobs, parallel);
-    std::printf("parallel: %7.2fs (%u threads)\n", t_parallel, jobs);
+    std::printf("parallel:        %7.2fs (%u threads)\n", t_parallel,
+                jobs);
+    const double t_serial_ref =
+        timedRun(chars_noskip, batch, 1, serial_ref);
+    std::printf("serial no-skip:  %7.2fs (1 thread)\n", t_serial_ref);
+    const double t_parallel_ref =
+        timedRun(chars_noskip, batch, jobs, parallel_ref);
+    std::printf("parallel no-skip:%7.2fs (%u threads)\n", t_parallel_ref,
+                jobs);
 
-    bool identical = serial.size() == parallel.size();
-    for (std::size_t i = 0; identical && i < serial.size(); ++i)
-        identical = sameResult(serial[i], parallel[i]);
+    // All four passes must agree byte for byte: parallelism must not
+    // perturb results, and event-horizon skipping must be invisible
+    // next to the per-cycle reference loop.
+    auto same_as_serial = [&](const std::vector<CoRunResult> &other) {
+        if (other.size() != serial.size())
+            return false;
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            if (!sameResult(serial[i], other[i]))
+                return false;
+        return true;
+    };
+    const bool thread_identical = same_as_serial(parallel);
+    const bool skip_identical = same_as_serial(serial_ref) &&
+                                same_as_serial(parallel_ref);
+    const bool identical = thread_identical && skip_identical;
     const double speedup = t_parallel > 0 ? t_serial / t_parallel : 0;
-    std::printf("speedup:  %7.2fx   results %s\n", speedup,
-                identical ? "bit-identical" : "DIVERGED");
+    const double skip_speedup =
+        t_serial > 0 ? t_serial_ref / t_serial : 0;
+    std::printf("thread speedup:  %7.2fx   results %s\n", speedup,
+                thread_identical ? "bit-identical" : "DIVERGED");
+    std::printf("skip speedup:    %7.2fx   results %s\n", skip_speedup,
+                skip_identical ? "bit-identical" : "DIVERGED");
+
+    // Serial co-run throughput in simulated Mcycles/s: to first order
+    // window- and pair-count-invariant, so a --quick CI run can be
+    // compared against a full-sweep baseline (characterization time is
+    // in the denominator for both, keeping the metric conservative).
+    std::uint64_t sim_cycles = 0;
+    for (const CoRunResult &r : serial)
+        sim_cycles += r.makespan;
+    const double mcps =
+        t_serial > 0 ? static_cast<double>(sim_cycles) / t_serial / 1e6
+                     : 0;
+    std::printf("serial throughput: %.2f Mcyc/s\n", mcps);
 
     std::ofstream os(out_path);
     if (os) {
@@ -144,7 +186,13 @@ main(int argc, char **argv)
            << "  \"threads\": " << jobs << ",\n"
            << "  \"serial_seconds\": " << t_serial << ",\n"
            << "  \"parallel_seconds\": " << t_parallel << ",\n"
+           << "  \"serial_noskip_seconds\": " << t_serial_ref << ",\n"
+           << "  \"parallel_noskip_seconds\": " << t_parallel_ref
+           << ",\n"
            << "  \"speedup\": " << speedup << ",\n"
+           << "  \"clock_skip_speedup\": " << skip_speedup << ",\n"
+           << "  \"simulated_cycles\": " << sim_cycles << ",\n"
+           << "  \"serial_mcycles_per_sec\": " << mcps << ",\n"
            << "  \"identical\": " << (identical ? "true" : "false")
            << "\n}\n";
         std::printf("(wrote %s)\n", out_path.c_str());

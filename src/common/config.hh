@@ -83,6 +83,10 @@ struct GpuConfig
 
     // ---- Simulation control ----
     std::uint64_t seed = 1;
+    /** Event-horizon clock skipping in Gpu::run(). Pure performance
+     *  toggle: results are bit-identical either way (the bench_sweep
+     *  gate enforces this); false forces the per-cycle reference loop. */
+    bool clockSkip = true;
 
     /** Maximum warps resident per SM under this config. */
     unsigned maxWarpsPerSm() const { return maxThreadsPerSm / warpSize; }

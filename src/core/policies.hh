@@ -113,6 +113,14 @@ class TimeSlicePolicy : public SlicingPolicy
                      KernelId kid) const override;
     bool timeInvariant() const override { return false; }
 
+    /** The owner only rotates at slice boundaries (the live set is
+     *  constant between kernel-set changes, which force a tick). */
+    Cycle
+    nextDecisionAt(Cycle now) const override
+    {
+        return (now / slice + 1) * slice;
+    }
+
     KernelId currentOwner() const { return owner; }
 
   private:

@@ -361,6 +361,27 @@ WarpedSlicerPolicy::tick(Gpu &gpu, Cycle now)
     }
 }
 
+Cycle
+WarpedSlicerPolicy::nextDecisionAt(Cycle now) const
+{
+    // Each phase acts only at its boundary; every tick strictly before
+    // it is a no-op. A boundary at or before `now` disables skipping
+    // (the pending action runs on the next tick).
+    switch (currentPhase) {
+      case Phase::Idle:
+        return neverCycle;
+      case Phase::Profiling:
+        return snapshotTaken ? profileEnd : profileStart;
+      case Phase::Delay:
+        return applyAt;
+      case Phase::Enforced:
+      case Phase::Spatial:
+        return opts.phaseMonitor ? monitorStart + opts.monitorWindow
+                                 : neverCycle;
+    }
+    return now;
+}
+
 bool
 WarpedSlicerPolicy::mayDispatch(const Gpu &gpu, SmId sm,
                                 KernelId kid) const

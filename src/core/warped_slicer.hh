@@ -72,6 +72,7 @@ class WarpedSlicerPolicy : public SlicingPolicy
     bool mayDispatch(const Gpu &gpu, SmId sm,
                      KernelId kid) const override;
     bool timeInvariant() const override { return false; }
+    Cycle nextDecisionAt(Cycle now) const override;
 
     // ---- Observability (tests, Table III reporting) ----
 

@@ -34,6 +34,9 @@ Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
     Tracer::global().record(now, TraceEvent::KernelLaunch, inst->id,
                             params.gridDim);
     kernels.push_back(std::move(inst));
+    ctaDispatchDirty = true;
+    dispatchBlocked = false;
+    policyDirty = true;
     policy->onKernelSetChanged(*this, now);
     return kernels.back()->id;
 }
@@ -41,8 +44,21 @@ Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
 void
 Gpu::dispatch()
 {
-    // Nothing left to place? Skip the SM x kernel scan entirely (the
-    // common steady state once every grid is fully launched).
+    // Policies mutate quotas directly on the SMs; a moved generation
+    // sum is the only signal that placement limits changed.
+    std::uint64_t gen = 0;
+    for (const auto &sm_ptr : sms)
+        gen += sm_ptr->quotaGeneration();
+    if (gen != quotaGenSeen) {
+        quotaGenSeen = gen;
+        ctaDispatchDirty = true;
+        dispatchBlocked = false;
+    }
+    // Every grid fully issued and nothing re-armed the scan since:
+    // dispatch is a no-op (the common steady state once every grid is
+    // fully launched).
+    if (!ctaDispatchDirty)
+        return;
     bool pending = false;
     for (const auto &kern_ptr : kernels) {
         if (kern_ptr->hasCtasToIssue()) {
@@ -50,11 +66,20 @@ Gpu::dispatch()
             break;
         }
     }
-    if (!pending)
+    if (!pending) {
+        ctaDispatchDirty = false;
         return;
+    }
+    // CTAs are pending but the last scan placed none of them; until a
+    // re-arm event or the policy's next decision boundary, rescanning
+    // would provably place none again.
+    if (dispatchBlocked && now < dispatchBlockedUntil)
+        return;
+    dispatchBlocked = false;
 
     // Kernel-aware thread-block scheduler: kernels are considered in
     // table order; the policy's quotas and SM masks carve up the SMs.
+    bool placed = false;
     for (auto &sm_ptr : sms) {
         SmCore &core = *sm_ptr;
         for (auto &kern_ptr : kernels) {
@@ -76,8 +101,13 @@ Gpu::dispatch()
                     now, TraceEvent::CtaLaunch, k.id, k.nextCta,
                     static_cast<std::uint32_t>(core.id()));
                 ++k.nextCta;
+                placed = true;
             }
         }
+    }
+    if (!placed) {
+        dispatchBlocked = true;
+        dispatchBlockedUntil = policy->nextDecisionAt(now);
     }
 }
 
@@ -119,6 +149,10 @@ Gpu::drainCtaEvents()
 {
     for (auto &sm_ptr : sms) {
         auto &events = sm_ptr->completedCtaEvents();
+        if (!events.empty()) {
+            ctaDispatchDirty = true;  // freed resources: rescan
+            dispatchBlocked = false;
+        }
         for (KernelId kid : events) {
             ++kernels[kid]->ctasCompleted;
             Tracer::global().record(
@@ -159,20 +193,25 @@ Gpu::checkKernelProgress()
             set_changed = true;
         }
     }
-    if (set_changed)
+    if (set_changed) {
+        ctaDispatchDirty = true;
+        dispatchBlocked = false;
+        policyDirty = true;
         policy->onKernelSetChanged(*this, now);
+    }
 }
 
 void
 Gpu::tick()
 {
+    policyDirty = false;
     policy->tick(*this, now);
     dispatch();
     for (auto &sm_ptr : sms) {
         // A drained core can only burn Idle slots this cycle; account
         // them in bulk instead of running the pipeline stages.
         if (sm_ptr->quiescent(now))
-            sm_ptr->skipTick();
+            sm_ptr->skipTick(now, 1);
         else
             sm_ptr->tick(now);
     }
@@ -196,24 +235,49 @@ Gpu::attachTelemetry(TelemetrySampler *sampler)
         telem->bind(*this);
 }
 
-bool
-Gpu::quiescentFixpoint() const
+Cycle
+Gpu::nextHorizon(Cycle end) const
 {
-    // Proven stable state: no CTAs left to place (dispatch is a no-op
-    // for every policy), every SM drained, every partition idle. With
-    // a time-invariant policy and no telemetry sampler attached, a
-    // tick from here changes nothing but the cycle/Idle counters, so
-    // the remaining window can be accounted in one step.
-    for (const auto &kern_ptr : kernels)
-        if (kern_ptr->hasCtasToIssue())
-            return false;
-    for (const auto &sm_ptr : sms)
-        if (!sm_ptr->quiescent(now))
-            return false;
-    for (const auto &part : partitions)
-        if (part->busy())
-            return false;
-    return true;
+    // A kernel-set change this tick may have shifted temporal policy
+    // state (e.g. the TimeSlice owner); run one un-skipped tick so the
+    // policy observes it before the clock jumps.
+    if (policyDirty)
+        return now;
+    Cycle h = std::min(end, policy->nextDecisionAt(now));
+    if (h <= now)
+        return now;
+    if (telem) {
+        // onCycleEnd fires during the tick of cycle nextSampleAt()-1
+        // (it tests the post-increment clock), so that cycle must be
+        // ticked, not skipped.
+        const Cycle sample = telem->nextSampleAt();
+        if (sample <= now + 1)
+            return now;
+        h = std::min(h, sample - 1);
+    }
+    for (const auto &sm_ptr : sms) {
+        const Cycle e = sm_ptr->nextEventAt(now);
+        if (e <= now)
+            return now;
+        h = std::min(h, e);
+    }
+    for (const auto &part : partitions) {
+        const Cycle e = part->nextEventAt(now);
+        if (e <= now)
+            return now;
+        h = std::min(h, e);
+    }
+    return h;
+}
+
+void
+Gpu::bulkSkip(Cycle cycles)
+{
+    for (auto &sm_ptr : sms)
+        sm_ptr->skipTick(now, cycles);
+    for (auto &part : partitions)
+        part->skipTick(cycles);
+    now += cycles;
 }
 
 Cycle
@@ -221,16 +285,17 @@ Gpu::run(Cycle max_cycles)
 {
     const Cycle start = now;
     const Cycle end = now + max_cycles;
+    const bool skipping = cfg.clockSkip;
     while (now < end && !allKernelsDone()) {
-        if (!telem && policy->timeInvariant() && quiescentFixpoint()) {
-            // Fast-forward the rest of the window in one step.
-            const Cycle remaining = end - now;
-            for (auto &sm_ptr : sms)
-                sm_ptr->skipTick(remaining);
-            now = end;
-            break;
-        }
         tick();
+        if (!skipping || now >= end)
+            continue;
+        // Safe even when the tick just completed the last kernel:
+        // every completion sets policyDirty, pinning the horizon to
+        // `now` so no cycles are skipped past the finish.
+        const Cycle h = nextHorizon(end);
+        if (h > now)
+            bulkSkip(h - now);
     }
     return now - start;
 }

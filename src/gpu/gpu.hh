@@ -48,10 +48,13 @@ class Gpu
     /**
      * Tick until every kernel is done or `max_cycles` elapse, and
      * return the cycles actually simulated (less than `max_cycles`
-     * when the kernels drain early). Fully quiescent stretches — no
-     * CTAs left to issue, every SM and partition drained, a
-     * time-invariant policy, no telemetry sampler — are fast-forwarded
-     * in one step with identical statistics.
+     * when the kernels drain early). With cfg.clockSkip (the default)
+     * the loop is event-driven: after each tick it asks every SM,
+     * memory partition, the policy, and the telemetry sampler for
+     * their next event cycle and jumps the clock to the minimum,
+     * bulk-accounting the skipped cycles with statistics identical to
+     * per-cycle ticking. clockSkip=false forces the per-cycle
+     * reference loop.
      */
     Cycle run(Cycle max_cycles);
 
@@ -102,7 +105,17 @@ class Gpu
     void routeMemory();
     void drainCtaEvents();
     void checkKernelProgress();
-    bool quiescentFixpoint() const;
+
+    /**
+     * Earliest cycle > now at which any component could act, clamped
+     * to `end`; returns `now` itself when some component needs the
+     * very next cycle (no skip possible).
+     */
+    Cycle nextHorizon(Cycle end) const;
+
+    /** Jump the clock by `cycles` guaranteed-eventless cycles,
+     *  bulk-accounting every SM and partition. */
+    void bulkSkip(Cycle cycles);
 
     const GpuConfig cfg;
     std::unique_ptr<SlicingPolicy> policy;
@@ -111,6 +124,27 @@ class Gpu
     std::vector<std::unique_ptr<KernelInstance>> kernels;
     TelemetrySampler *telem = nullptr;
     Cycle now = 0;
+
+    /** Pending-CTA scan re-arm: set on kernel launch, CTA completion,
+     *  and kernel-set changes; quota writes are caught by comparing
+     *  the SMs' quota generation sum. Cleared once every grid is
+     *  fully issued (pending-ness is monotone between launches). */
+    bool ctaDispatchDirty = true;
+    std::uint64_t quotaGenSeen = ~std::uint64_t{0};
+
+    /** Placement-saturation memo: the last dispatch scan placed
+     *  nothing, and nothing can change that before the policy's next
+     *  decision boundary — mayDispatch answers are time-invariant
+     *  until then, and resource/quota/grid changes all clear the memo
+     *  alongside setting ctaDispatchDirty. Skips the per-tick
+     *  SM x kernel placement scan while every eligible SM is full. */
+    bool dispatchBlocked = false;
+    Cycle dispatchBlockedUntil = 0;
+
+    /** Set when the kernel set changed this tick; forces the next
+     *  tick to run un-skipped so temporal policies (e.g. TimeSlice's
+     *  owner rotation) observe the new set before any skip. */
+    bool policyDirty = true;
 };
 
 } // namespace wsl

@@ -59,6 +59,22 @@ class SlicingPolicy
      * windows, time slices — must override this to false.
      */
     virtual bool timeInvariant() const { return true; }
+
+    /**
+     * Earliest future cycle at which tick() may act or a dispatch
+     * decision (quotas, mayDispatch mask) may change with the passage
+     * of time alone — that is, with no intervening kernel-set change.
+     * Cycles strictly between `now` and the returned value are
+     * guaranteed policy no-ops, which lets Gpu::run()'s event-horizon
+     * clock skipping jump over them. The default is conservative:
+     * neverCycle for time-invariant policies (their tick() is a no-op)
+     * and `now` (no skipping) for temporal ones that do not override.
+     */
+    virtual Cycle
+    nextDecisionAt(Cycle now) const
+    {
+        return timeInvariant() ? neverCycle : now;
+    }
 };
 
 } // namespace wsl

@@ -26,7 +26,8 @@ configFingerprint(const GpuConfig &c)
        << c.l2HitLatency << ',' << c.l2Mshrs << ',' << c.dramBanks
        << ',' << c.dramQueue << ',' << c.tCL << ',' << c.tRP << ','
        << c.tRC << ',' << c.tRAS << ',' << c.tRCD << ',' << c.tRRD
-       << ',' << c.dramBurst << ',' << c.dramRowBytes << ',' << c.seed;
+       << ',' << c.dramBurst << ',' << c.dramRowBytes << ',' << c.seed
+       << ',' << c.clockSkip;
     return os.str();
 }
 

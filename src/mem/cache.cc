@@ -90,13 +90,13 @@ Cache::fill(Addr line)
         return result;  // already present (e.g., refetched line)
 
     Line *base = &lines[setOf(line) * params.assoc];
-    Line *victim = &base[0];
-    for (unsigned w = 1; w < params.assoc; ++w) {
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < params.assoc; ++w) {
         if (!base[w].valid) {
             victim = &base[w];
             break;
         }
-        if (base[w].lastUse < victim->lastUse)
+        if (!victim || base[w].lastUse < victim->lastUse)
             victim = &base[w];
     }
     if (victim->valid && victim->dirty) {
@@ -130,7 +130,7 @@ Cache::mshrAvailable(unsigned count) const
 bool
 Cache::mshrHit(Addr line) const
 {
-    return mshrs.count(line) != 0;
+    return mshrs.contains(line);
 }
 
 void

@@ -3,6 +3,13 @@
  * GDDR5 channel model with FR-FCFS scheduling (paper Table I). Banks
  * track open rows; the scheduler prefers row hits over oldest-first.
  * Timings are expressed in core cycles (pre-scaled in GpuConfig).
+ *
+ * The scheduling window is organized as per-bank arrival-ordered
+ * queues with bank/row indices precomputed at push, replacing the
+ * original single-vector O(n) scan with per-entry address math. A
+ * blocked tick memoizes the exact cycle at which the next command can
+ * issue, so fully-stalled channels cost O(1) per cycle and the memo
+ * doubles as the channel's event horizon for clock skipping.
  */
 
 #ifndef WSL_MEM_DRAM_HH
@@ -12,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -43,7 +51,7 @@ class DramChannel
     explicit DramChannel(const GpuConfig &cfg);
 
     /** True if the scheduling window can take another request. */
-    bool canAccept() const { return queue.size() < cfg.dramQueue; }
+    bool canAccept() const { return queued < cfg.dramQueue; }
 
     /** Enqueue a transaction (caller observes canAccept first; eviction
      *  writebacks may push past the limit to avoid deadlock). */
@@ -55,17 +63,39 @@ class DramChannel
      */
     void tick(Cycle now, std::vector<DramCompletion> &completed);
 
-    bool busy() const { return !queue.empty() || !inFlight.empty(); }
-    std::size_t queueDepth() const { return queue.size(); }
+    /**
+     * Earliest cycle at which this channel can next change state:
+     * the oldest in-flight transfer's doneAt, a queued request's
+     * arrival, a bank becoming column-ready, the bus draining below
+     * the pipelining gate, or the tRRD window reopening. Returns
+     * `now` when the scheduler may act on the very next tick and
+     * neverCycle when the channel is empty. Valid only between
+     * tick(now-1) and tick(now).
+     */
+    Cycle nextEventAt(Cycle now) const;
+
+    bool busy() const { return queued != 0 || !inFlight.empty(); }
+    std::size_t queueDepth() const { return queued; }
 
     PartitionStats stats;
 
   private:
+    /** A queued transaction with its address geometry precomputed. */
+    struct BankEntry
+    {
+        Addr line;
+        Cycle arrive;
+        std::uint64_t seq;  //!< global push order (FCFS tiebreak)
+        std::uint64_t row;
+        bool write;
+    };
+
     struct Bank
     {
         std::int64_t openRow = -1;
         Cycle readyAt = 0;        //!< earliest next column command
         Cycle lastActivate = 0;
+        std::vector<BankEntry> q; //!< seq-ascending (arrival order)
     };
 
     unsigned bankOf(Addr line) const;
@@ -73,11 +103,17 @@ class DramChannel
 
     const GpuConfig cfg;
     std::vector<Bank> banks;
-    std::vector<DramRequest> queue;   //!< FR-FCFS window (small)
+    std::size_t queued = 0;       //!< total entries across bank queues
+    std::uint64_t nextSeq = 0;
     struct Transfer { Addr line; bool write; Cycle doneAt; };
-    std::vector<Transfer> inFlight;
+    RingQueue<Transfer> inFlight; //!< doneAt strictly increasing
     Cycle busBusyUntil = 0;
     Cycle lastActivateAny = 0;
+    // Blocked-tick memo: when the last scheduling pass could not issue
+    // a command, horizonAt holds the exact first cycle at which the
+    // outcome can change (arrival, bank-ready, bus, or tRRD edge).
+    bool horizonValid = false;
+    Cycle horizonAt = 0;
 };
 
 } // namespace wsl

@@ -25,6 +25,59 @@ srcMaskOf(const Instruction &inst)
 
 } // namespace
 
+void
+SmCore::updateIssuable(std::uint16_t widx)
+{
+    if (!maskUsable)
+        return;
+    const std::uint64_t bit = std::uint64_t{1} << widx;
+    const WarpState &w = warps[widx];
+    if (!w.active || w.finished) {
+        issuableMask &= ~bit;
+        memBlockedMask &= ~bit;
+        shortBlockedMask &= ~bit;
+        barrierMask &= ~bit;
+        aluNextMask &= ~bit;
+        sfuNextMask &= ~bit;
+        ldstNextMask &= ~bit;
+        return;
+    }
+    if (!w.atBarrier && w.ibuf > 0)
+        issuableMask |= bit;
+    else
+        issuableMask &= ~bit;
+    // Scoreboard overlap of the next instruction, mirroring tryIssue's
+    // hazard tests (long checked before short). The pc is always valid
+    // for a live warp: advanceWarp wraps it before returning.
+    const Instruction &inst = w.program->body[w.pc];
+    const std::uint32_t touched = srcMaskOf(inst) | regBit(inst.dst);
+    if (touched & w.pendingLong)
+        memBlockedMask |= bit;
+    else
+        memBlockedMask &= ~bit;
+    if (touched & w.pendingShort)
+        shortBlockedMask |= bit;
+    else
+        shortBlockedMask &= ~bit;
+    if (w.atBarrier)
+        barrierMask |= bit;
+    else
+        barrierMask &= ~bit;
+    const UnitKind unit = unitOf(inst.op);
+    if (unit == UnitKind::Alu)
+        aluNextMask |= bit;
+    else
+        aluNextMask &= ~bit;
+    if (unit == UnitKind::Sfu)
+        sfuNextMask |= bit;
+    else
+        sfuNextMask &= ~bit;
+    if (unit == UnitKind::Ldst)
+        ldstNextMask |= bit;
+    else
+        ldstNextMask &= ~bit;
+}
+
 SmCore::SmCore(const GpuConfig &c, SmId id)
     : cfg(c), smId(id), schedKind(c.scheduler),
       rng(c.seed * 7919 + id * 104729 + 1),
@@ -36,7 +89,9 @@ SmCore::SmCore(const GpuConfig &c, SmId id)
     freeWarpSlots.reserve(warps.size());
     for (unsigned w = 0; w < warps.size(); ++w)
         freeWarpSlots.push_back(static_cast<std::uint16_t>(w));
+    maskUsable = warps.size() <= 64;
     schedLists.resize(cfg.numSchedulers);
+    schedListMask.assign(cfg.numSchedulers, 0);
     lastIssued.assign(cfg.numSchedulers, -1);
     rrPos.assign(cfg.numSchedulers, 0);
     aluBusyUntil.assign(cfg.numSchedulers, 0);
@@ -103,8 +158,12 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
         w.age = ageCounter++;
         cta.warpIdxs.push_back(widx);
         schedLists[widx % cfg.numSchedulers].push_back(widx);
+        if (maskUsable)
+            schedListMask[widx % cfg.numSchedulers] |=
+                std::uint64_t{1} << widx;
         fetchQueue.push({widx, w.epoch});
         ++liveWarps;
+        updateIssuable(widx);
     }
     // Stash the kernel base in the CTA by encoding it per-warp at
     // address-generation time; the CTA only needs the base pointer.
@@ -114,20 +173,6 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
     invalidateScanCache();
     (void)now;
     return true;
-}
-
-void
-SmCore::removeFromSchedLists(const CtaSlot &cta)
-{
-    for (auto &list : schedLists) {
-        list.erase(std::remove_if(list.begin(), list.end(),
-                                  [&](std::uint16_t w) {
-                                      return warps[w].ctaSlot >= 0 &&
-                                             &ctas[warps[w].ctaSlot] ==
-                                                 &cta;
-                                  }),
-                   list.end());
-    }
 }
 
 void
@@ -145,6 +190,7 @@ SmCore::completeCta(int cta_idx)
         w.finished = true;
         ++w.epoch;  // invalidate in-flight writebacks to this slot
         freeWarpSlots.push_back(widx);
+        updateIssuable(widx);
     }
     resourcePool.free(cta.alloc);
     WSL_ASSERT(resident[cta.kernel] > 0, "resident CTA underflow");
@@ -158,11 +204,12 @@ SmCore::completeCta(int cta_idx)
 void
 SmCore::evictKernel(KernelId kid)
 {
+    bool any = false;
     for (unsigned c = 0; c < ctas.size(); ++c) {
         CtaSlot &cta = ctas[c];
         if (!cta.active || cta.kernel != kid)
             continue;
-        removeFromSchedLists(cta);
+        any = true;
         for (std::uint16_t widx : cta.warpIdxs) {
             WarpState &w = warps[widx];
             if (w.active && !w.finished)
@@ -171,10 +218,30 @@ SmCore::evictKernel(KernelId kid)
             w.finished = true;
             ++w.epoch;
             freeWarpSlots.push_back(widx);
+            updateIssuable(widx);
         }
         resourcePool.free(cta.alloc);
         cta.active = false;
         cta.warpIdxs.clear();
+    }
+    if (any) {
+        // One sweep drops every deactivated warp: anything inactive
+        // still on a list belongs to the CTAs marked above (finished
+        // warps of other kernels left their lists in finishWarp).
+        for (unsigned s = 0; s < schedLists.size(); ++s) {
+            auto &list = schedLists[s];
+            list.erase(
+                std::remove_if(list.begin(), list.end(),
+                               [&](std::uint16_t w) {
+                                   if (warps[w].active)
+                                       return false;
+                                   if (maskUsable)
+                                       schedListMask[s] &=
+                                           ~(std::uint64_t{1} << w);
+                                   return true;
+                               }),
+                list.end());
+        }
     }
     resident[kid] = 0;
     invalidateScanCache();
@@ -203,6 +270,7 @@ SmCore::setQuota(KernelId kid, int max_ctas)
     WSL_ASSERT(kid >= 0 && kid < static_cast<int>(maxConcurrentKernels),
                "kernel id out of range");
     quotas[kid] = max_ctas;
+    ++quotaGen;
 }
 
 int
@@ -217,6 +285,7 @@ void
 SmCore::clearQuotas()
 {
     quotas.fill(-1);
+    ++quotaGen;
 }
 
 std::uint16_t
@@ -242,6 +311,7 @@ SmCore::completeLoadTransaction(std::uint16_t load_idx, Cycle now)
         WarpState &w = warps[load.warp];
         if (w.epoch == load.epoch) {
             w.pendingLong &= ~load.regMask;
+            updateIssuable(load.warp);
             invalidateScanCache();  // a stalled warp may now be ready
         }
         if (recordTelemetry && load.kernel != invalidKernel)
@@ -260,8 +330,10 @@ SmCore::maybeReleaseBarrier(CtaSlot &cta)
     const unsigned unfinished = cta.warpsTotal - cta.warpsFinished;
     if (unfinished == 0 || cta.barrierWaiting < unfinished)
         return;
-    for (std::uint16_t widx : cta.warpIdxs)
+    for (std::uint16_t widx : cta.warpIdxs) {
         warps[widx].atBarrier = false;
+        updateIssuable(widx);
+    }
     cta.barrierWaiting = 0;
     invalidateScanCache();  // released warps are schedulable again
 }
@@ -272,12 +344,16 @@ SmCore::finishWarp(std::uint16_t widx)
     WarpState &w = warps[widx];
     WSL_ASSERT(w.active && !w.finished, "double finish");
     w.finished = true;
+    updateIssuable(widx);
     --liveWarps;
     // Active-warp index: drop the warp from its scheduler list now so
     // issue scans touch only live warps, instead of skipping finished
     // slots every cycle until the whole CTA retires.
     auto &list = schedLists[widx % cfg.numSchedulers];
     list.erase(std::find(list.begin(), list.end(), widx));
+    if (maskUsable)
+        schedListMask[widx % cfg.numSchedulers] &=
+            ~(std::uint64_t{1} << widx);
     invalidateScanCache();
     CtaSlot &cta = ctas[w.ctaSlot];
     if (w.atBarrier) {
@@ -320,6 +396,9 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
     }
     if (w.active && !w.finished && w.ibuf == 0 && !w.fetchPending)
         fetchQueue.push({widx, w.epoch});
+    // One recompute covers everything the issue may have changed for
+    // this warp: i-buffer drain, barrier entry, or warp completion.
+    updateIssuable(widx);
 }
 
 SmCore::IssueOutcome
@@ -382,10 +461,13 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
 {
     CtaSlot &cta = ctas[w.ctaSlot];
     const KernelParams &params = *cta.params;
-    // Issuing mutates shared structural state (pipeline busy-untils,
-    // outgoing queue, MSHRs, scoreboards): cached failed scans of the
-    // sibling schedulers are no longer reproducible.
-    invalidateScanCache();
+    // Issuing always perturbs this scheduler's own scan inputs (the
+    // warp's scoreboard, i-buffer, pc, and ALU busy horizon). Sibling
+    // schedulers scan disjoint warps and only observe the shared
+    // structural state — the SFU/LDST busy horizons, MSHRs, and the
+    // outgoing queue — so their memoized failed scans survive pure-ALU
+    // and control issues; the SFU and LDST cases below invalidate all.
+    scanCache[sched].valid = false;
 
     const unsigned live_lanes =
         static_cast<unsigned>(std::popcount(w.activeMask));
@@ -407,20 +489,26 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
             w.pendingShort |= dst_bit;
             wbWheel[(now + cfg.aluLatency) % wheelSize].push_back(
                 {widx, w.epoch, dst_bit});
+            ++wbWheelCount;
         }
         break;
       }
       case UnitKind::Sfu: {
+        invalidateScanCache();  // sfuBusyUntil is cross-scheduler
         sfuBusyUntil = now + cfg.sfuInitiation;
         smStats.sfuBusyCycles += cfg.sfuInitiation;
         if (dst_bit) {
             w.pendingShort |= dst_bit;
             wbWheel[(now + cfg.sfuLatency) % wheelSize].push_back(
                 {widx, w.epoch, dst_bit});
+            ++wbWheelCount;
         }
         break;
       }
       case UnitKind::Ldst: {
+        // ldstBusyUntil, the MSHR pool, and the outgoing queue are all
+        // cross-scheduler scan inputs.
+        invalidateScanCache();
         ++smStats.ldstIssues;
         ldstOwner = w.kernel;
         if (!isGlobalMem(inst.op)) {
@@ -435,6 +523,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                 w.pendingShort |= dst_bit;
                 wbWheel[(now + cfg.shmLatency * conflict) % wheelSize]
                     .push_back({widx, w.epoch, dst_bit});
+                ++wbWheelCount;
             }
             break;
         }
@@ -457,6 +546,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                   case Cache::ReadResult::Hit:
                     memWheel[(now + cfg.l1HitLatency) % wheelSize]
                         .push_back(entry);
+                    ++memWheelCount;
                     break;
                   case Cache::ReadResult::MissNew:
                     ++smStats.l1Misses;
@@ -530,14 +620,16 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
 }
 
 void
-SmCore::chargeStall(StallKind kind, int culprit)
+SmCore::chargeStall(StallKind kind, int culprit, Cycle count)
 {
-    ++smStats.stalls[static_cast<unsigned>(kind)];
+    smStats.stalls[static_cast<unsigned>(kind)] += count;
     if (recordTelemetry) {
         if (culprit != invalidKernel)
-            ++smStats.kernelStalls[culprit][static_cast<unsigned>(kind)];
+            smStats.kernelStalls[culprit][static_cast<unsigned>(kind)] +=
+                count;
         else
-            ++smStats.unattributedStalls[static_cast<unsigned>(kind)];
+            smStats.unattributedStalls[static_cast<unsigned>(kind)] +=
+                count;
     }
 }
 
@@ -571,11 +663,108 @@ SmCore::runScheduler(unsigned sched, Cycle now)
     unsigned scanned = 0;
     bool issued = false;
 
+    const bool useMask = maskUsable && !attribute;
+    if (useMask) {
+        // Two-phase mask scan. Phase 1 visits only candidate warps —
+        // issuable with a clean scoreboard — since everything else is
+        // a bit-provable failure; this touches no WarpState at all for
+        // blocked warps. Candidate failures (structural hazards) are
+        // counted as they happen; the counts are simply abandoned if a
+        // later candidate issues. If nothing issues, the scan failed,
+        // counting no longer depends on scan order, and the remaining
+        // outcomes come from popcounts over the masks.
+        // Warps whose next instruction needs a currently-busy unit are
+        // certain ExecBusy outcomes (tryIssue tests the unit before
+        // any structural memory check), so they are popcounted, never
+        // visited.
+        std::uint64_t busyBlocked = 0;
+        if (aluBusyUntil[sched] > now)
+            busyBlocked |= aluNextMask;
+        if (sfuBusyUntil > now)
+            busyBlocked |= sfuNextMask;
+        if (ldstBusyUntil > now)
+            busyBlocked |= ldstNextMask;
+        const std::uint64_t clean =
+            issuableMask & ~memBlockedMask & ~shortBlockedMask;
+        const std::uint64_t cand = clean & ~busyBlocked;
+        if (schedKind == SchedulerKind::Gto) {
+            const int greedy = lastIssued[sched];
+            if (greedy >= 0 && ((cand >> greedy) & 1) &&
+                (greedy % static_cast<int>(cfg.numSchedulers)) ==
+                    static_cast<int>(sched)) {
+                const IssueOutcome o = tryIssue(
+                    static_cast<std::uint16_t>(greedy), sched, now);
+                if (o == IssueOutcome::Issued)
+                    return;
+                ++counts[static_cast<unsigned>(o)];
+            }
+            for (std::uint16_t widx : list) {
+                if (static_cast<int>(widx) == greedy ||
+                    !((cand >> widx) & 1))
+                    continue;
+                const IssueOutcome o = tryIssue(widx, sched, now);
+                if (o == IssueOutcome::Issued) {
+                    lastIssued[sched] = widx;
+                    return;
+                }
+                ++counts[static_cast<unsigned>(o)];
+            }
+        } else {
+            const unsigned n = static_cast<unsigned>(list.size());
+            const unsigned start = rrPos[sched] % n;
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned pos = (start + i) % n;
+                const std::uint16_t widx = list[pos];
+                if (!((cand >> widx) & 1))
+                    continue;
+                const IssueOutcome o = tryIssue(widx, sched, now);
+                if (o == IssueOutcome::Issued) {
+                    lastIssued[sched] = widx;
+                    rrPos[sched] = pos + 1;
+                    return;
+                }
+                ++counts[static_cast<unsigned>(o)];
+            }
+        }
+
+        const std::uint64_t live = schedListMask[sched];
+        counts[static_cast<unsigned>(IssueOutcome::Barrier)] =
+            static_cast<unsigned>(std::popcount(live & barrierMask));
+        counts[static_cast<unsigned>(IssueOutcome::Empty)] =
+            static_cast<unsigned>(
+                std::popcount(live & ~issuableMask & ~barrierMask));
+        counts[static_cast<unsigned>(IssueOutcome::MemWait)] +=
+            static_cast<unsigned>(
+                std::popcount(live & issuableMask & memBlockedMask));
+        counts[static_cast<unsigned>(IssueOutcome::ShortWait)] +=
+            static_cast<unsigned>(std::popcount(
+                live & issuableMask & ~memBlockedMask &
+                shortBlockedMask));
+        counts[static_cast<unsigned>(IssueOutcome::ExecBusy)] +=
+            static_cast<unsigned>(
+                std::popcount(live & clean & busyBlocked));
+        scanned = static_cast<unsigned>(std::popcount(live));
+    } else {
+
     auto consider = [&](std::uint16_t widx) -> bool {
         WarpState &w = warps[widx];
         if (!w.active || w.finished)
             return false;
-        const IssueOutcome outcome = tryIssue(widx, sched, now);
+        // The masks prove what tryIssue would return without touching
+        // anything: a clear issuable bit means Barrier (checked first
+        // there) or Empty, and a set blocked bit means MemWait or
+        // ShortWait (in that priority). Resolve those outcomes from
+        // bit tests and call tryIssue only for genuine candidates.
+        IssueOutcome outcome;
+        if (maskUsable && !((issuableMask >> widx) & 1))
+            outcome = w.atBarrier ? IssueOutcome::Barrier
+                                  : IssueOutcome::Empty;
+        else if (maskUsable && ((memBlockedMask >> widx) & 1))
+            outcome = IssueOutcome::MemWait;
+        else if (maskUsable && ((shortBlockedMask >> widx) & 1))
+            outcome = IssueOutcome::ShortWait;
+        else
+            outcome = tryIssue(widx, sched, now);
         if (outcome == IssueOutcome::Issued) {
             lastIssued[sched] = widx;
             issued = true;
@@ -620,6 +809,8 @@ SmCore::runScheduler(unsigned sched, Cycle now)
             }
         }
     }
+
+    }  // !useMask (per-warp consider scan)
 
     if (issued)
         return;
@@ -697,6 +888,7 @@ SmCore::runFetch(Cycle now)
         w.fetchReadyAt = now + lat;
         fetchWheel[(now + lat) % wheelSize].push_back(
             {entry.warp, entry.epoch});
+        ++fetchWheelCount;
         ++smStats.ifetches;
         if (miss)
             ++smStats.ifetchMisses;
@@ -728,35 +920,48 @@ SmCore::tick(Cycle now)
             ++smStats.kernelLdstBusyCycles[ldstOwner];
     }
 
-    // Writeback wheel: retire short-latency results.
-    auto &wb = wbWheel[now % wheelSize];
-    for (const WbEntry &e : wb) {
-        WarpState &w = warps[e.warp];
-        if (w.epoch == e.epoch) {
-            w.pendingShort &= ~e.regMask;
-            invalidateScanCache();  // a ShortWait warp may now be ready
+    // Timing wheels: the pending counters skip the slot probe (a
+    // cache-line touch each) while a wheel is globally empty.
+    if (wbWheelCount != 0) {
+        // Writeback wheel: retire short-latency results.
+        auto &wb = wbWheel[now % wheelSize];
+        wbWheelCount -= static_cast<unsigned>(wb.size());
+        for (const WbEntry &e : wb) {
+            WarpState &w = warps[e.warp];
+            if (w.epoch == e.epoch) {
+                w.pendingShort &= ~e.regMask;
+                updateIssuable(e.warp);
+                invalidateScanCache();  // a ShortWait warp may be ready
+            }
         }
+        wb.clear();
     }
-    wb.clear();
 
-    // Instruction-buffer refills completing this cycle.
-    auto &fetch_done = fetchWheel[now % wheelSize];
-    for (const FetchEntry &e : fetch_done) {
-        WarpState &w = warps[e.warp];
-        if (w.active && !w.finished && w.epoch == e.epoch &&
-            w.fetchPending && w.fetchReadyAt <= now) {
-            w.fetchPending = false;
-            w.ibuf = cfg.ibufferEntries;
-            invalidateScanCache();  // Empty outcome flips to issuable
+    if (fetchWheelCount != 0) {
+        // Instruction-buffer refills completing this cycle.
+        auto &fetch_done = fetchWheel[now % wheelSize];
+        fetchWheelCount -= static_cast<unsigned>(fetch_done.size());
+        for (const FetchEntry &e : fetch_done) {
+            WarpState &w = warps[e.warp];
+            if (w.active && !w.finished && w.epoch == e.epoch &&
+                w.fetchPending && w.fetchReadyAt <= now) {
+                w.fetchPending = false;
+                w.ibuf = cfg.ibufferEntries;
+                updateIssuable(e.warp);
+                invalidateScanCache();  // Empty flips to issuable
+            }
         }
+        fetch_done.clear();
     }
-    fetch_done.clear();
 
-    // L1-hit load transactions maturing this cycle.
-    auto &mem_wb = memWheel[now % wheelSize];
-    for (std::uint16_t load_idx : mem_wb)
-        completeLoadTransaction(load_idx, now);
-    mem_wb.clear();
+    if (memWheelCount != 0) {
+        // L1-hit load transactions maturing this cycle.
+        auto &mem_wb = memWheel[now % wheelSize];
+        memWheelCount -= static_cast<unsigned>(mem_wb.size());
+        for (std::uint16_t load_idx : mem_wb)
+            completeLoadTransaction(load_idx, now);
+        mem_wb.clear();
+    }
 
     // Line fills arriving from the memory partitions.
     for (std::size_t i = 0; i < respQueue.size();) {
@@ -777,24 +982,94 @@ SmCore::tick(Cycle now)
 
     for (unsigned s = 0; s < cfg.numSchedulers; ++s)
         runScheduler(s, now);
-    runFetch(now);
+    if (!fetchQueue.empty())
+        runFetch(now);
+}
+
+Cycle
+SmCore::nextEventAt(Cycle now) const
+{
+    // A quiescent core has no valid load, warp, or CTA left, so any
+    // remaining wheel or fetch-queue entries are epoch-guarded stale
+    // no-ops (memWheel is provably empty: activeLoads == 0); they must
+    // not pin the horizon, or a drained core would force per-cycle
+    // ticking forever.
+    if (quiescent(now))
+        return neverCycle;
+    // Queued outgoing requests and front-end refill starts need
+    // per-cycle service (routing and fetchWidth pacing).
+    if (!outRequests.empty() || !fetchQueue.empty())
+        return now;
+    Cycle h = neverCycle;
+    for (unsigned s = 0; s < cfg.numSchedulers; ++s) {
+        if (schedLists[s].empty())
+            continue;
+        const ScanCacheEntry &memo = scanCache[s];
+        if (!memo.valid || now >= memo.validUntil)
+            return now;  // the scan must actually run
+        h = std::min(h, memo.validUntil);
+    }
+    for (const MemResponse &r : respQueue) {
+        if (r.readyAt <= now)
+            return now;
+        h = std::min(h, r.readyAt);
+    }
+    if (wbWheelCount + memWheelCount + fetchWheelCount > 0) {
+        // Wheel entries always fire within wheelSize cycles of being
+        // pushed, so the first non-empty slot ahead of `now` is the
+        // wheels' next event; a skip can never jump over one.
+        for (unsigned d = 0; d < wheelSize; ++d) {
+            const unsigned slot =
+                static_cast<unsigned>((now + d) % wheelSize);
+            if (!wbWheel[slot].empty() || !memWheel[slot].empty() ||
+                !fetchWheel[slot].empty()) {
+                h = std::min(h, now + d);
+                break;
+            }
+        }
+    }
+    return h;
 }
 
 void
-SmCore::skipTick(Cycle cycles)
+SmCore::skipTick(Cycle now, Cycle cycles)
 {
-    // A quiescent core's tick() is fully determined: no warps, so the
-    // resource integrals add zero, the LDST unit is idle, the wheels
-    // hold only epoch-guarded stale entries (no-ops whenever they are
-    // eventually visited), and each scheduler charges one unattributed
-    // Idle stall. Bulk-account exactly those counters.
+    // Every cycle in [now, now + cycles) is provably eventless (see
+    // nextEventAt): no wheel slot fires, no fill arrives, and every
+    // scheduler either has no warps or replays its memoized stall, so
+    // nothing can issue and the pools, pipelines, and MSHRs hold
+    // still. Bulk-account exactly what per-cycle ticking would have.
     smStats.cycles += cycles;
-    const std::uint64_t slots =
-        static_cast<std::uint64_t>(cycles) * cfg.numSchedulers;
-    smStats.stalls[static_cast<unsigned>(StallKind::Idle)] += slots;
-    if (recordTelemetry)
-        smStats.unattributedStalls[static_cast<unsigned>(
-            StallKind::Idle)] += slots;
+    const ResourceVec &used = resourcePool.usedVec();
+    smStats.regsAllocatedIntegral +=
+        static_cast<std::uint64_t>(used.regs) * cycles;
+    smStats.shmAllocatedIntegral +=
+        static_cast<std::uint64_t>(used.shm) * cycles;
+    smStats.threadsAllocatedIntegral +=
+        static_cast<std::uint64_t>(used.threads) * cycles;
+    // outRequests is empty here (else the horizon was `now`), so the
+    // LDST unit counts busy while occupied or under MSHR pressure;
+    // both terms are frozen across the window.
+    Cycle busy = 0;
+    if (l1.mshrsInUse() >= 8)
+        busy = cycles;
+    else if (ldstBusyUntil > now)
+        busy = std::min(cycles, ldstBusyUntil - now);
+    if (busy != 0) {
+        smStats.ldstBusyCycles += busy;
+        if (recordTelemetry && ldstOwner != invalidKernel)
+            smStats.kernelLdstBusyCycles[ldstOwner] += busy;
+    }
+    for (unsigned s = 0; s < cfg.numSchedulers; ++s) {
+        if (schedLists[s].empty()) {
+            chargeStall(StallKind::Idle, invalidKernel, cycles);
+        } else {
+            const ScanCacheEntry &memo = scanCache[s];
+            WSL_ASSERT(memo.valid && now + cycles <= memo.validUntil,
+                       "skip window crosses a scheduler memo horizon");
+            chargeStall(memo.kind, memo.culprit, cycles);
+        }
+    }
 }
 
 } // namespace wsl

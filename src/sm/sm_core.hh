@@ -63,6 +63,11 @@ class SmCore
     int quota(KernelId kid) const;
     void clearQuotas();
 
+    /** Bumped on every quota mutation; the GPU dispatcher re-arms its
+     *  pending-CTA scan when the sum across SMs moves (policies write
+     *  quotas directly, so there is no other signal). */
+    std::uint32_t quotaGeneration() const { return quotaGen; }
+
     // ---- Simulation ----
 
     /** Advance one core cycle. */
@@ -86,11 +91,24 @@ class SmCore
     }
 
     /**
-     * Account `cycles` fully idle cycles exactly as ticking a
-     * quiescent core would (cycles counter + Idle stall slots), without
-     * touching the pipeline. Only valid while quiescent() holds.
+     * Earliest future cycle at which ticking this core could do
+     * anything beyond replaying memoized stalls: a wheel slot firing
+     * (writeback, L1-hit maturation, i-buffer refill), a line fill
+     * arriving, a scheduler memo expiring, or queued front-end/outgoing
+     * work needing per-cycle service. Returns `now` when the core must
+     * be ticked every cycle; cycles strictly between `now` and the
+     * returned value are provably identical to skipTick() accounting.
      */
-    void skipTick(Cycle cycles = 1);
+    Cycle nextEventAt(Cycle now) const;
+
+    /**
+     * Account `cycles` cycles of guaranteed-eventless simulation
+     * exactly as per-cycle ticking would: cycle counter, resource
+     * integrals, LDST busy accounting, and per-scheduler stall charges
+     * replayed from the scan memos. Only valid for windows ending at or
+     * before nextEventAt(now).
+     */
+    void skipTick(Cycle now, Cycle cycles);
 
     // ---- Memory-system interface (driven by the GPU object) ----
 
@@ -209,7 +227,7 @@ class SmCore
 
     void runFetch(Cycle now);
     void runScheduler(unsigned sched, Cycle now);
-    void chargeStall(StallKind kind, int culprit);
+    void chargeStall(StallKind kind, int culprit, Cycle count = 1);
     IssueOutcome tryIssue(std::uint16_t widx, unsigned sched, Cycle now);
     void executeIssue(WarpState &warp, const Instruction &inst,
                       std::uint16_t widx, unsigned sched, Cycle now);
@@ -219,7 +237,17 @@ class SmCore
     void completeCta(int cta_idx);
     void completeLoadTransaction(std::uint16_t load_idx, Cycle now);
     std::uint16_t allocLoadEntry();
-    void removeFromSchedLists(const CtaSlot &cta);
+
+    /**
+     * Recompute one warp's bits in issuableMask and the scoreboard
+     * blocked masks. Called on every state transition that can flip
+     * active/finished/atBarrier/ibuf or the next instruction's
+     * operand-vs-scoreboard overlap (issue, writeback, line fill);
+     * keeping the masks exact lets the scheduler scan resolve
+     * Barrier/Empty/MemWait/ShortWait outcomes from bit tests instead
+     * of tryIssue calls.
+     */
+    void updateIssuable(std::uint16_t widx);
 
     const GpuConfig cfg;
     const SmId smId;
@@ -236,9 +264,32 @@ class SmCore
     // Per-kernel dispatch bookkeeping.
     std::array<int, maxConcurrentKernels> quotas;
     std::array<unsigned, maxConcurrentKernels> resident{};
+    std::uint32_t quotaGen = 0;
+
+    /** Bit per warp slot: active, unfinished, not at a barrier, and
+     *  holding a buffered instruction. Usable only while every warp
+     *  index fits a 64-bit word (maskUsable). */
+    std::uint64_t issuableMask = 0;
+    /** Bit per warp slot: the next instruction's registers overlap the
+     *  long-latency (memBlocked) or short-latency (shortBlocked)
+     *  scoreboard — exactly tryIssue's first two hazard tests. */
+    std::uint64_t memBlockedMask = 0;
+    std::uint64_t shortBlockedMask = 0;
+    /** Bit per live warp slot waiting at a barrier. */
+    std::uint64_t barrierMask = 0;
+    /** Bit per live warp slot whose next instruction targets the given
+     *  execution unit; lets the scheduler resolve ExecBusy outcomes
+     *  for a busy unit without visiting the warps. */
+    std::uint64_t aluNextMask = 0;
+    std::uint64_t sfuNextMask = 0;
+    std::uint64_t ldstNextMask = 0;
+    bool maskUsable = false;
 
     // Schedulers.
     std::vector<std::vector<std::uint16_t>> schedLists;  //!< age order
+    /** Warp-slot bit set per scheduler mirroring schedLists membership
+     *  (maintained only while maskUsable). */
+    std::vector<std::uint64_t> schedListMask;
     std::vector<int> lastIssued;   //!< GTO greedy warp per scheduler
     std::vector<unsigned> rrPos;   //!< LRR rotation per scheduler
 
@@ -256,10 +307,15 @@ class SmCore
         std::uint32_t epoch;
     };
 
-    // Writeback timing wheels.
+    // Writeback timing wheels. The pending counters track live slot
+    // entries so nextEventAt() can skip the 256-slot scan when all
+    // wheels are empty (the common idle state).
     std::array<std::vector<WbEntry>, wheelSize> wbWheel;
     std::array<std::vector<std::uint16_t>, wheelSize> memWheel;
     std::array<std::vector<FetchEntry>, wheelSize> fetchWheel;
+    unsigned wbWheelCount = 0;
+    unsigned memWheelCount = 0;
+    unsigned fetchWheelCount = 0;
 
     // Memory.
     Cache l1;

@@ -183,3 +183,166 @@ TEST(Dram, BusyReflectsOutstandingWork)
     runUntil(dram, 1, 1000);
     EXPECT_FALSE(dram.busy());
 }
+
+// ---------------------------------------------------------------------
+// Exact-cycle timing pins. These lock the scheduler to its current
+// behavior so the per-bank queue restructuring cannot drift: a cold
+// bank charges a full tRAS before precharge, activates respect
+// lastActivateAny + tRRD, the data bus serializes column accesses, and
+// only the oldest arrived request may activate a row.
+// ---------------------------------------------------------------------
+
+TEST(Dram, ColdMissTimingIsExact)
+{
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    const auto done = runUntil(dram, 1, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    // Cold bank: precharge may not start before lastActivate(0) + tRAS,
+    // which dominates the tRRD cold-start gate; then tRP + tRCD opens
+    // the row and tCL + burst moves the data.
+    EXPECT_EQ(done[0].readyAt,
+              cfg.tRAS + cfg.tRP + cfg.tRCD + cfg.tCL + cfg.dramBurst);
+    EXPECT_EQ(dram.stats.dramRowMisses, 1u);
+    EXPECT_EQ(dram.stats.dramRowHits, 1u);
+    EXPECT_EQ(dram.stats.dramReads, 1u);
+    EXPECT_EQ(dram.stats.dramBusyCycles, cfg.dramBurst);
+}
+
+TEST(Dram, ColdActivateWaitsForTrrdWindow)
+{
+    // With tRAS zeroed the cold-start path is gated purely by the
+    // activate-to-activate window: lastActivateAny starts at 0, so the
+    // first activate may not issue before cycle tRRD.
+    GpuConfig c = cfg;
+    c.tRAS = 0;
+    DramChannel gated(c);
+    gated.push({localLine(0), false, 0});
+    auto done = runUntil(gated, 1, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].readyAt,
+              c.tRRD + c.tRP + c.tRCD + c.tCL + c.dramBurst);
+
+    // And with tRRD also zeroed the activate issues immediately.
+    c.tRRD = 0;
+    DramChannel free_run(c);
+    free_run.push({localLine(0), false, 0});
+    done = runUntil(free_run, 1, 1000);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].readyAt,
+              c.tRP + c.tRCD + c.tCL + c.dramBurst);
+}
+
+TEST(Dram, ArrivalOrderBreaksTiesAmongRowHits)
+{
+    // Open bank 0's row 0, then queue two hits where the *later pushed*
+    // request arrives earlier. FR-FCFS serves arrived requests only, in
+    // queue order among those arrived.
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    auto opened = runUntil(dram, 1, 1000);
+    ASSERT_EQ(opened.size(), 1u);
+    const Cycle t0 = opened[0].readyAt;  // 102 with baseline timings
+
+    const Addr late = localLine(cfg.dramBanks);       // arrives t0+10
+    const Addr early = localLine(2 * cfg.dramBanks);  // arrives t0
+    dram.push({late, false, t0 + 10});
+    dram.push({early, false, t0});
+    const auto done = runUntil(dram, 2, 2000, t0);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].line, early);
+    EXPECT_EQ(done[1].line, late);
+    EXPECT_EQ(done[0].readyAt, t0 + cfg.tCL + cfg.dramBurst);
+    // The second hit's column waits for its arrival, not the bus
+    // (t0+10+tCL clears busBusyUntil with these timings).
+    EXPECT_EQ(done[1].readyAt, t0 + 10 + cfg.tCL + cfg.dramBurst);
+}
+
+TEST(Dram, SameBankHitsSpaceExactlyOneBurstApart)
+{
+    // Back-to-back hits on one open row are spaced by the CCD
+    // approximation (bank.readyAt = now + burst) and chain the bus:
+    // completions land exactly dramBurst apart.
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    auto opened = runUntil(dram, 1, 1000);
+    const Cycle t0 = opened[0].readyAt;
+
+    dram.push({localLine(cfg.dramBanks), false, t0});
+    dram.push({localLine(2 * cfg.dramBanks), false, t0});
+    dram.push({localLine(3 * cfg.dramBanks), false, t0});
+    const auto done = runUntil(dram, 3, 2000, t0);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].readyAt, t0 + cfg.tCL + cfg.dramBurst);
+    EXPECT_EQ(done[1].readyAt, done[0].readyAt + cfg.dramBurst);
+    EXPECT_EQ(done[2].readyAt, done[1].readyAt + cfg.dramBurst);
+    EXPECT_EQ(dram.stats.dramBusyCycles, 4 * cfg.dramBurst);
+}
+
+TEST(Dram, BusGateThrottlesAlternatingBankHits)
+{
+    // Open rows in banks 0 and 1, then stream hits alternating between
+    // them. Bank-level CCD never binds across banks, so the shared data
+    // bus (busBusyUntil > now + tCL => retry) is what paces the stream:
+    // completions must still be exactly one burst apart.
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});
+    dram.push({localLine(1), false, 0});
+    auto opened = runUntil(dram, 2, 2000);
+    ASSERT_EQ(opened.size(), 2u);
+    const Cycle t0 = std::max(opened[0].readyAt, opened[1].readyAt);
+
+    for (unsigned i = 1; i <= 2; ++i) {
+        dram.push({localLine(i * cfg.dramBanks), false, t0});      // b0
+        dram.push({localLine(i * cfg.dramBanks + 1), false, t0});  // b1
+    }
+    const auto done = runUntil(dram, 4, 4000, t0);
+    ASSERT_EQ(done.size(), 4u);
+    for (unsigned i = 1; i < 4; ++i)
+        EXPECT_EQ(done[i].readyAt, done[i - 1].readyAt + cfg.dramBurst);
+}
+
+TEST(Dram, OnlyTheOldestArrivedRequestActivates)
+{
+    // Two cold misses to different banks arriving together: the younger
+    // one may not activate its (idle) bank until the older request has
+    // issued its column. This pins the single-outstanding-activate
+    // FCFS behavior of the scheduler.
+    DramChannel dram(cfg);
+    dram.push({localLine(0), false, 0});  // bank 0
+    dram.push({localLine(1), false, 0});  // bank 1
+    const auto done = runUntil(dram, 2, 2000);
+    ASSERT_EQ(done.size(), 2u);
+    const Cycle first =
+        cfg.tRAS + cfg.tRP + cfg.tRCD + cfg.tCL + cfg.dramBurst;
+    EXPECT_EQ(done[0].line, localLine(0));
+    EXPECT_EQ(done[0].readyAt, first);
+    // Bank 1 activates the cycle after bank 0's column issue
+    // (first - burst - tCL + 1), then waits tRP + tRCD + tCL + burst.
+    EXPECT_EQ(done[1].line, localLine(1));
+    EXPECT_EQ(done[1].readyAt, first - cfg.dramBurst - cfg.tCL + 1 +
+                                   cfg.tRP + cfg.tRCD + cfg.tCL +
+                                   cfg.dramBurst);
+}
+
+TEST(Dram, RowStatsCountExactSequences)
+{
+    // rowA, rowA, rowB to one bank: one activate for rowA, two hits,
+    // one activate for rowB, one hit. Every column access counts as a
+    // hit (including the one right after its own activate).
+    DramChannel dram(cfg);
+    const Addr row_a0 = localLine(0);
+    const Addr row_a1 = localLine(cfg.dramBanks);
+    const unsigned lines_per_row = cfg.dramRowBytes / lineSize;
+    const Addr row_b = localLine(cfg.dramBanks * lines_per_row);
+    dram.push({row_a0, false, 0});
+    dram.push({row_a1, false, 0});
+    dram.push({row_b, false, 0});
+    const auto done = runUntil(dram, 3, 4000);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(dram.stats.dramRowMisses, 2u);
+    EXPECT_EQ(dram.stats.dramRowHits, 3u);
+    EXPECT_EQ(dram.stats.dramReads, 3u);
+    EXPECT_EQ(dram.stats.dramWrites, 0u);
+    EXPECT_EQ(dram.stats.dramBusyCycles, 3 * cfg.dramBurst);
+}

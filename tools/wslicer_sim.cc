@@ -61,6 +61,7 @@ struct Options
     std::string policy = "dynamic";
     SchedulerKind sched = SchedulerKind::Gto;
     bool large = false;
+    bool noSkip = false;  //!< force the per-cycle reference loop
     std::string csvPath;
     std::string jsonPath;
     std::string tracePath;
@@ -79,7 +80,9 @@ usage(const char *argv0)
                  "         --policy leftover|spatial|even|dynamic|"
                  "fixed:Q1,Q2[,Q3]\n"
                  "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
-                 "         --stats-interval N --timeline FILE --jobs N\n",
+                 "         --stats-interval N --timeline FILE --jobs N\n"
+                 "         --no-skip (disable event-horizon clock "
+                 "skipping; bit-identical, slower)\n",
                  argv0);
     std::exit(2);
 }
@@ -109,6 +112,8 @@ parseArgs(int argc, char **argv)
                                         : SchedulerKind::Gto;
         else if (arg == "--large")
             opt.large = true;
+        else if (arg == "--no-skip")
+            opt.noSkip = true;
         else if (arg == "--trace")
             opt.tracePath = next();
         else if (arg == "--timeline")
@@ -136,6 +141,7 @@ makeConfig(const Options &opt)
     GpuConfig cfg = opt.large ? GpuConfig::largeResource()
                               : GpuConfig::baseline();
     cfg.scheduler = opt.sched;
+    cfg.clockSkip = !opt.noSkip;
     return cfg;
 }
 
