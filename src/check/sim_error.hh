@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Typed, recoverable simulator errors. The gem5-style panic()/fatal()
+ * helpers in common/log.hh abort the whole process, which is the wrong
+ * failure mode inside a library that runs thirty co-run jobs on a
+ * jthread pool: one bad configuration or one tripped invariant should
+ * fail *that job* and leave the rest of the sweep running. Library
+ * code therefore throws a wsl::SimError subclass; process boundaries
+ * (CLI drivers, benchmark mains) catch it, report, and pick the exit
+ * code. panic() remains only for contexts where unwinding is
+ * impossible, and is enriched with the current simulation cycle.
+ */
+
+#ifndef WSL_CHECK_SIM_ERROR_HH
+#define WSL_CHECK_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+namespace detail {
+
+/**
+ * Thread-local pointer to the cycle counter of the Gpu currently
+ * inside run() on this thread (null outside a simulation). Lets
+ * assertion failures and panics report *when* they fired without
+ * threading a context object through every call site.
+ */
+inline thread_local const Cycle *currentSimCycle = nullptr;
+
+/** " [cycle N]" when a simulation is running on this thread. */
+inline std::string
+simContextSuffix()
+{
+    if (!currentSimCycle)
+        return {};
+    return " [cycle " + std::to_string(*currentSimCycle) + "]";
+}
+
+} // namespace detail
+
+/**
+ * RAII registration of a Gpu's cycle counter as the thread's error
+ * context; constructed at the top of Gpu::run().
+ */
+class SimContextGuard
+{
+  public:
+    explicit SimContextGuard(const Cycle *cycle)
+        : prev(detail::currentSimCycle)
+    {
+        detail::currentSimCycle = cycle;
+    }
+    ~SimContextGuard() { detail::currentSimCycle = prev; }
+    SimContextGuard(const SimContextGuard &) = delete;
+    SimContextGuard &operator=(const SimContextGuard &) = delete;
+
+  private:
+    const Cycle *prev;
+};
+
+/** Base of all recoverable simulator errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind {
+        Internal,  //!< broken simulator logic (failed assertion)
+        Invariant, //!< an integrity audit found inconsistent state
+        Deadlock,  //!< the no-progress watchdog fired
+        Config,    //!< inconsistent user-supplied configuration
+    };
+
+    SimError(Kind kind, const std::string &message)
+        : std::runtime_error(message), errKind(kind)
+    {
+    }
+
+    Kind kind() const { return errKind; }
+
+    /** Stable short name, for per-job error records and summaries. */
+    const char *
+    kindName() const
+    {
+        switch (errKind) {
+          case Kind::Internal: return "internal";
+          case Kind::Invariant: return "invariant";
+          case Kind::Deadlock: return "deadlock";
+          case Kind::Config: return "config";
+        }
+        return "unknown";
+    }
+
+  private:
+    Kind errKind;
+};
+
+/** A WSL_ASSERT failed or an unreachable state was reached. */
+class InternalError : public SimError
+{
+  public:
+    explicit InternalError(const std::string &message)
+        : SimError(Kind::Internal, message)
+    {
+    }
+};
+
+/** One or more integrity-audit checks found inconsistent state. */
+class InvariantViolation : public SimError
+{
+  public:
+    InvariantViolation(Cycle cycle, std::vector<std::string> failures)
+        : SimError(Kind::Invariant, summarize(cycle, failures)),
+          atCycle(cycle), failureList(std::move(failures))
+    {
+    }
+
+    Cycle cycle() const { return atCycle; }
+
+    /** Every failed check, one message each. */
+    const std::vector<std::string> &failures() const
+    {
+        return failureList;
+    }
+
+  private:
+    static std::string
+    summarize(Cycle cycle, const std::vector<std::string> &failures)
+    {
+        std::string s = "invariant audit failed at cycle " +
+                        std::to_string(cycle);
+        if (!failures.empty()) {
+            s += ": " + failures.front();
+            if (failures.size() > 1) {
+                s += " (+" + std::to_string(failures.size() - 1) +
+                     " more)";
+            }
+        }
+        return s;
+    }
+
+    Cycle atCycle;
+    std::vector<std::string> failureList;
+};
+
+/** The no-progress watchdog fired; carries the full machine dump. */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(Cycle cycle, Cycle stalled_for, std::string full_report)
+        : SimError(Kind::Deadlock,
+                   "no forward progress for " +
+                       std::to_string(stalled_for) +
+                       " cycles with warps resident (deadlock) at cycle " +
+                       std::to_string(cycle)),
+          atCycle(cycle), stalled(stalled_for),
+          reportText(std::move(full_report))
+    {
+    }
+
+    Cycle cycle() const { return atCycle; }
+    Cycle stalledFor() const { return stalled; }
+
+    /** Per-warp stall reasons, scoreboard, queue/quota occupancy. */
+    const std::string &report() const { return reportText; }
+
+  private:
+    Cycle atCycle;
+    Cycle stalled;
+    std::string reportText;
+};
+
+/** User-supplied configuration is inconsistent or unusable. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &message)
+        : SimError(Kind::Config, message)
+    {
+    }
+};
+
+/** Throw an InternalError with the thread's cycle context appended. */
+[[noreturn]] inline void
+assertFail(const std::string &message)
+{
+    throw InternalError(message + detail::simContextSuffix());
+}
+
+} // namespace wsl
+
+#endif // WSL_CHECK_SIM_ERROR_HH

@@ -1,0 +1,116 @@
+#include "check/watchdog.hh"
+
+#include <sstream>
+
+#include "check/access.hh"
+#include "gpu/gpu.hh"
+#include "isa/opcode.hh"
+
+namespace wsl {
+
+namespace {
+
+/** Cap on per-warp detail lines per SM (the rest are summarized). */
+constexpr unsigned maxWarpLines = 8;
+
+std::uint32_t
+regBit(int reg)
+{
+    return reg >= 0 ? (std::uint32_t{1} << (reg & 31)) : 0u;
+}
+
+/** Why this warp is not issuing, mirroring tryIssue's outcome order. */
+const char *
+stallReason(const WarpState &w)
+{
+    if (w.atBarrier)
+        return "barrier";
+    if (w.ibuf == 0)
+        return w.fetchPending ? "ifetch-pending" : "ibuffer-empty";
+    const Instruction &inst = w.program->body[w.pc];
+    const std::uint32_t touched = regBit(inst.src0) | regBit(inst.src1) |
+                                  regBit(inst.src2) | regBit(inst.dst);
+    if (touched & w.pendingLong)
+        return "mem-wait";
+    if (touched & w.pendingShort)
+        return "short-raw";
+    return "exec-ready";
+}
+
+} // namespace
+
+std::string
+buildDeadlockReport(const Gpu &gpu, Cycle stalled_for)
+{
+    std::ostringstream os;
+    os << "=== deadlock report: no progress for " << stalled_for
+       << " cycles at cycle " << gpu.cycle() << " ===\n";
+
+    os << "kernels:\n";
+    for (std::size_t k = 0; k < gpu.numKernels(); ++k) {
+        const KernelInstance &kern = gpu.kernel(static_cast<KernelId>(k));
+        os << "  k" << k << " '" << kern.params.name << "'"
+           << (kern.done ? (kern.halted ? " halted" : " done") : "")
+           << " ctas " << kern.ctasCompleted << "/" << kern.nextCta
+           << " issued of " << kern.params.gridDim << "\n";
+    }
+
+    for (unsigned s = 0; s < gpu.numSms(); ++s) {
+        const SmCore &sm = gpu.sm(s);
+        if (sm.idle() && AuditAccess::activeLoads(sm) == 0 &&
+            AuditAccess::outRequestCount(sm) == 0 &&
+            AuditAccess::respQueueCount(sm) == 0)
+            continue;
+        os << "SM " << s << ": live warps "
+           << AuditAccess::liveWarps(sm) << ", pending loads "
+           << AuditAccess::activeLoads(sm) << ", L1 MSHRs "
+           << AuditAccess::l1(sm).mshrsInUse() << ", outgoing "
+           << AuditAccess::outRequestCount(sm) << ", responses "
+           << AuditAccess::respQueueCount(sm) << ", fetch queue "
+           << AuditAccess::fetchQueueCount(sm) << "\n";
+        os << "  quotas:";
+        const auto &quotas = AuditAccess::quotas(sm);
+        for (std::size_t k = 0; k < gpu.numKernels(); ++k)
+            os << " k" << k << "=" << quotas[k] << "("
+               << sm.residentCtas(static_cast<KernelId>(k))
+               << " resident)";
+        os << "\n";
+        const auto &warps = AuditAccess::warps(sm);
+        unsigned listed = 0, skipped = 0;
+        for (std::size_t w = 0; w < warps.size(); ++w) {
+            const WarpState &warp = warps[w];
+            if (!warp.active || warp.finished)
+                continue;
+            if (listed >= maxWarpLines) {
+                ++skipped;
+                continue;
+            }
+            ++listed;
+            os << "  w" << w << " k" << warp.kernel << " pc=" << warp.pc
+               << " iter=" << warp.iter << " ibuf=" << warp.ibuf
+               << " reason=" << stallReason(warp);
+            if (warp.pendingLong || warp.pendingShort) {
+                os << " scoreboard(long=0x" << std::hex
+                   << warp.pendingLong << ",short=0x" << warp.pendingShort
+                   << std::dec << ")";
+            }
+            os << "\n";
+        }
+        if (skipped != 0)
+            os << "  ... " << skipped << " more live warps elided\n";
+    }
+
+    for (unsigned p = 0; p < gpu.numPartitions(); ++p) {
+        const MemPartition &part = gpu.partition(p);
+        const DramChannel &dram = AuditAccess::dram(part);
+        os << "partition " << p << ": queue "
+           << AuditAccess::reqQueueDepth(part) << ", L2 MSHRs "
+           << AuditAccess::l2(part).mshrsInUse() << ", DRAM queued "
+           << AuditAccess::dramQueued(dram) << ", in flight "
+           << AuditAccess::dramInFlight(dram) << ", responses "
+           << AuditAccess::responseCount(part) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wsl

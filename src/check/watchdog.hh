@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structured deadlock reporting for the no-progress watchdog in
+ * Gpu::run(). When warps are resident but no instruction issues, no
+ * CTA launches, and no fetch or memory activity moves the machine for
+ * cfg.watchdogCycles cycles, the run throws a DeadlockError carrying
+ * the report built here: per-warp stall reasons and scoreboard state,
+ * MSHR and queue occupancy across the memory system, and the
+ * dispatcher's quota state — everything needed to diagnose a hang
+ * post-mortem instead of attaching a debugger to a spinning process.
+ */
+
+#ifndef WSL_CHECK_WATCHDOG_HH
+#define WSL_CHECK_WATCHDOG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+class Gpu;
+
+/**
+ * Render the full machine dump for a no-progress report: kernel table,
+ * per-SM warp/scoreboard/queue state, per-partition occupancy.
+ *
+ * @param gpu          the stalled machine
+ * @param stalled_for  cycles since the last observed progress
+ */
+std::string buildDeadlockReport(const Gpu &gpu, Cycle stalled_for);
+
+} // namespace wsl
+
+#endif // WSL_CHECK_WATCHDOG_HH

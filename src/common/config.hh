@@ -88,8 +88,27 @@ struct GpuConfig
      *  gate enforces this); false forces the per-cycle reference loop. */
     bool clockSkip = true;
 
+    // ---- Integrity layer (check/) ----
+    /** Invariant-audit cadence in cycles; 0 disables audits. Audits
+     *  are read-only, so stats and telemetry are byte-identical with
+     *  audits on or off; a failed check throws InvariantViolation. */
+    Cycle auditCadence = 0;
+    /** No-progress watchdog: when warps are resident but no
+     *  instruction issues, no CTA launches, and no memory request
+     *  completes for this many cycles, Gpu::run() throws a
+     *  DeadlockError with a structured machine dump. 0 disables. */
+    Cycle watchdogCycles = 0;
+
     /** Maximum warps resident per SM under this config. */
     unsigned maxWarpsPerSm() const { return maxThreadsPerSm / warpSize; }
+
+    /**
+     * Reject inconsistent parameter combinations with a ConfigError
+     * whose message names the offending field and the constraint.
+     * Called by the Gpu constructor (so every harness path is covered)
+     * and by the CLI drivers before any run.
+     */
+    void validate() const;
 
     /** Table I baseline machine. */
     static GpuConfig baseline() { return {}; }

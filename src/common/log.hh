@@ -2,6 +2,13 @@
  * @file
  * Status and error reporting helpers, following the gem5 panic/fatal
  * distinction: panic() flags a simulator bug, fatal() flags a user error.
+ *
+ * Since the integrity-layer rework, library code no longer aborts the
+ * process on a tripped invariant: WSL_ASSERT and simBug() throw a
+ * wsl::InternalError (see check/sim_error.hh) so a fault in one sweep
+ * job can be recorded per-job while the rest of the matrix completes.
+ * panic()/fatal() remain for true process boundaries — CLI drivers,
+ * benchmark mains, and contexts where unwinding is impossible.
  */
 
 #ifndef WSL_COMMON_LOG_HH
@@ -11,6 +18,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+
+#include "check/sim_error.hh"
 
 namespace wsl {
 
@@ -34,14 +43,17 @@ concat(const T &head, const Rest &...rest)
 } // namespace detail
 
 /**
- * Report an internal simulator bug and abort. Use when a condition can
- * only arise from broken simulator logic, never from user input.
+ * Report an internal simulator bug and abort. Only for process
+ * boundaries and contexts where stack unwinding is not an option;
+ * library code should use simBug()/WSL_ASSERT, which throw. The dump
+ * includes the current simulation cycle when one is running.
  */
 template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
-    std::cerr << "panic: " << detail::concat(args...) << std::endl;
+    std::cerr << "panic: " << detail::concat(args...)
+              << detail::simContextSuffix() << std::endl;
     std::abort();
 }
 
@@ -55,6 +67,18 @@ fatal(const Args &...args)
 {
     std::cerr << "fatal: " << detail::concat(args...) << std::endl;
     std::exit(1);
+}
+
+/**
+ * Flag an internal simulator bug by throwing wsl::InternalError with
+ * the current cycle appended: the per-job catch in the sweep harness
+ * records it without killing sibling jobs.
+ */
+template <typename... Args>
+[[noreturn]] void
+simBug(const Args &...args)
+{
+    assertFail(detail::concat(args...));
 }
 
 /** Warn about questionable but survivable conditions. */
@@ -73,12 +97,27 @@ inform(const Args &...args)
     std::cout << "info: " << detail::concat(args...) << std::endl;
 }
 
-/** panic() unless the invariant holds. */
+/** Throw wsl::InternalError unless the invariant holds. */
 #define WSL_ASSERT(cond, msg)                                               \
     do {                                                                    \
         if (!(cond))                                                        \
-            ::wsl::panic("assertion failed: ", #cond, " — ", msg);          \
+            ::wsl::assertFail(::wsl::detail::concat(                        \
+                "assertion failed: ", #cond, " — ", msg));                  \
     } while (0)
+
+/**
+ * Debug-build assertion for hot paths (RingQueue bounds and similar):
+ * compiled out under NDEBUG, a full WSL_ASSERT otherwise. This repo's
+ * Release config keeps assertions enabled (-O2 -g without NDEBUG), so
+ * these fire everywhere except an explicit -DNDEBUG build.
+ */
+#ifdef NDEBUG
+#define WSL_DASSERT(cond, msg)                                              \
+    do {                                                                    \
+    } while (0)
+#else
+#define WSL_DASSERT(cond, msg) WSL_ASSERT(cond, msg)
+#endif
 
 } // namespace wsl
 

@@ -14,24 +14,61 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hh"
+
 namespace wsl {
 
 template <typename T>
 class RingQueue
 {
   public:
+    RingQueue() = default;
+
+    /**
+     * Bounded queue: push asserts size() < cap in debug builds, so a
+     * producer that outruns its backpressure check fails loudly
+     * instead of silently growing (and corrupting occupancy-derived
+     * horizons). cap == 0 means unbounded.
+     */
+    explicit RingQueue(std::size_t cap) : capacity(cap) {}
+
     bool empty() const { return head == buf.size(); }
     std::size_t size() const { return buf.size() - head; }
 
-    void push(const T &value) { buf.push_back(value); }
-    void push(T &&value) { buf.push_back(std::move(value)); }
+    void
+    push(const T &value)
+    {
+        WSL_DASSERT(capacity == 0 || size() < capacity,
+                    "RingQueue overflow: push past capacity");
+        buf.push_back(value);
+    }
 
-    T &front() { return buf[head]; }
-    const T &front() const { return buf[head]; }
+    void
+    push(T &&value)
+    {
+        WSL_DASSERT(capacity == 0 || size() < capacity,
+                    "RingQueue overflow: push past capacity");
+        buf.push_back(std::move(value));
+    }
+
+    T &
+    front()
+    {
+        WSL_DASSERT(!empty(), "RingQueue underflow: front() on empty");
+        return buf[head];
+    }
+
+    const T &
+    front() const
+    {
+        WSL_DASSERT(!empty(), "RingQueue underflow: front() on empty");
+        return buf[head];
+    }
 
     void
     pop()
     {
+        WSL_DASSERT(!empty(), "RingQueue underflow: pop() on empty");
         ++head;
         if (head == buf.size()) {
             buf.clear();
@@ -64,6 +101,7 @@ class RingQueue
 
     std::vector<T> buf;
     std::size_t head = 0;
+    std::size_t capacity = 0; //!< 0 = unbounded
 };
 
 } // namespace wsl

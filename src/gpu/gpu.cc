@@ -1,5 +1,8 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
+#include "check/watchdog.hh"
 #include "common/log.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
@@ -10,12 +13,17 @@ Gpu::Gpu(const GpuConfig &c, std::unique_ptr<SlicingPolicy> p)
     : cfg(c), policy(std::move(p))
 {
     WSL_ASSERT(policy != nullptr, "GPU needs a slicing policy");
+    // Reject inconsistent machines before building components out of
+    // them (every harness and CLI path funnels through here).
+    cfg.validate();
     sms.reserve(cfg.numSms);
     for (unsigned s = 0; s < cfg.numSms; ++s)
         sms.push_back(std::make_unique<SmCore>(cfg, s));
     partitions.reserve(cfg.numMemPartitions);
     for (unsigned p_idx = 0; p_idx < cfg.numMemPartitions; ++p_idx)
         partitions.push_back(std::make_unique<MemPartition>(cfg, p_idx));
+    if (cfg.auditCadence != 0)
+        auditor = std::make_unique<Auditor>(cfg.auditCadence);
 }
 
 KernelId
@@ -280,20 +288,86 @@ Gpu::bulkSkip(Cycle cycles)
     now += cycles;
 }
 
+std::uint64_t
+Gpu::progressSignature() const
+{
+    std::uint64_t sig = 0;
+    for (const auto &sm_ptr : sms) {
+        const SmStats &st = sm_ptr->stats();
+        sig += st.warpInstsIssued + st.ifetches + st.ctasLaunched +
+               st.l1Accesses;
+    }
+    for (const auto &part : partitions) {
+        const PartitionStats st = part->stats();
+        sig += st.l2Accesses + st.dramReads + st.dramWrites;
+    }
+    return sig;
+}
+
+void
+Gpu::checkWatchdog()
+{
+    const std::uint64_t sig = progressSignature();
+    if (sig != lastProgressSig) {
+        lastProgressSig = sig;
+        lastProgressCycle = now;
+        return;
+    }
+    // Only a machine with resident warps can deadlock; an empty one
+    // merely waits for dispatch, bounded by the caller's max_cycles.
+    bool resident = false;
+    for (const auto &sm_ptr : sms) {
+        if (!sm_ptr->idle()) {
+            resident = true;
+            break;
+        }
+    }
+    if (!resident) {
+        lastProgressCycle = now;
+        return;
+    }
+    const Cycle stalled = now - lastProgressCycle;
+    if (stalled >= cfg.watchdogCycles)
+        throw DeadlockError(now, stalled,
+                            buildDeadlockReport(*this, stalled));
+}
+
 Cycle
 Gpu::run(Cycle max_cycles)
 {
+    // Tag assertion failures / panics on this thread with our cycle.
+    SimContextGuard errorContext(&now);
     const Cycle start = now;
     const Cycle end = now + max_cycles;
     const bool skipping = cfg.clockSkip;
+    const Cycle wd = cfg.watchdogCycles;
+    if (wd != 0) {
+        lastProgressCycle = now;
+        lastProgressSig = progressSignature();
+    }
     while (now < end && !allKernelsDone()) {
         tick();
+        // Audits run post-tick. Skipped stretches are provably
+        // eventless, so state at the next real event equals state at
+        // every skipped cycle: auditing there loses nothing, and the
+        // audit clock never pins the horizon.
+        if (auditor && now >= auditor->nextAuditAt())
+            auditor->runChecks(*this);
+        if (wd != 0)
+            checkWatchdog();
         if (!skipping || now >= end)
             continue;
         // Safe even when the tick just completed the last kernel:
         // every completion sets policyDirty, pinning the horizon to
         // `now` so no cycles are skipped past the finish.
-        const Cycle h = nextHorizon(end);
+        Cycle h = nextHorizon(end);
+        // A deadlocked machine reports a far (or never) horizon; cap
+        // the jump at the watchdog deadline so it cannot bulk-skip
+        // straight past detection to max_cycles. Prefix windows of a
+        // skippable stretch are always themselves skippable, so the
+        // cap is safe.
+        if (wd != 0)
+            h = std::min(h, lastProgressCycle + wd);
         if (h > now)
             bulkSkip(h - now);
     }

@@ -8,9 +8,11 @@
 #ifndef WSL_GPU_GPU_HH
 #define WSL_GPU_GPU_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "check/auditor.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "gpu/kernel.hh"
@@ -100,11 +102,28 @@ class Gpu
     void attachTelemetry(TelemetrySampler *sampler);
     TelemetrySampler *telemetry() const { return telem; }
 
+    /** The invariant auditor, when cfg.auditCadence enabled one
+     *  (nullptr otherwise). Exposed so tests and tools can register
+     *  extra checks or read the audit count. */
+    Auditor *integrityAuditor() { return auditor.get(); }
+
   private:
     void dispatch();
     void routeMemory();
     void drainCtaEvents();
     void checkKernelProgress();
+
+    /**
+     * Monotone sum of the machine's forward-progress counters
+     * (instruction issue, fetch, CTA launch, L1/L2/DRAM activity):
+     * unchanged across a tick iff nothing observable happened. The
+     * no-progress watchdog compares it against the last value.
+     */
+    std::uint64_t progressSignature() const;
+
+    /** Throw DeadlockError when warps are resident but the progress
+     *  signature has been flat for cfg.watchdogCycles cycles. */
+    void checkWatchdog();
 
     /**
      * Earliest cycle > now at which any component could act, clamped
@@ -123,7 +142,12 @@ class Gpu
     std::vector<std::unique_ptr<MemPartition>> partitions;
     std::vector<std::unique_ptr<KernelInstance>> kernels;
     TelemetrySampler *telem = nullptr;
+    std::unique_ptr<Auditor> auditor;
     Cycle now = 0;
+
+    // No-progress watchdog state (used only when cfg.watchdogCycles).
+    Cycle lastProgressCycle = 0;
+    std::uint64_t lastProgressSig = 0;
 
     /** Pending-CTA scan re-arm: set on kernel launch, CTA completion,
      *  and kernel-set changes; quota writes are caught by comparing

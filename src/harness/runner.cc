@@ -39,7 +39,7 @@ makePolicy(PolicyKind kind, const WarpedSlicerOptions &slicer_opts)
       case PolicyKind::Dynamic:
         return std::make_unique<WarpedSlicerPolicy>(slicer_opts);
     }
-    panic("unknown policy kind");
+    simBug("unknown policy kind ", static_cast<int>(kind));
 }
 
 Cycle
@@ -139,10 +139,26 @@ runCoSchedule(const std::vector<KernelParams> &apps,
     WSL_ASSERT(apps.size() == targets.size(),
                "one instruction target per app");
     std::unique_ptr<SlicingPolicy> policy;
-    if (!opts.fixedQuotas.empty())
+    if (!opts.fixedQuotas.empty()) {
+        if (opts.fixedQuotas.size() != apps.size())
+            throw ConfigError(detail::concat(
+                "fixedQuotas has ", opts.fixedQuotas.size(),
+                " entries for ", apps.size(), " apps"));
+        const ResourceVec cap = ResourceVec::capacity(cfg);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const int q = opts.fixedQuotas[i];
+            if (q < 0)
+                throw ConfigError(detail::concat(
+                    "fixedQuotas[", i, "] = ", q, " is negative"));
+            if (!ResourceVec::ofCta(apps[i]).scaled(q).fitsIn(cap))
+                throw ConfigError(detail::concat(
+                    "fixedQuotas[", i, "] = ", q, " CTAs of '",
+                    apps[i].name, "' exceed one SM's resources"));
+        }
         policy = std::make_unique<FixedQuotaPolicy>(opts.fixedQuotas);
-    else
+    } else {
         policy = makePolicy(kind, opts.slicer);
+    }
     SlicingPolicy *policy_raw = policy.get();
 
     Gpu gpu(cfg, std::move(policy));
@@ -225,8 +241,16 @@ Characterization::prewarm(const std::vector<std::string> &names,
     std::sort(unique.begin(), unique.end());
     unique.erase(std::unique(unique.begin(), unique.end()),
                  unique.end());
-    parallelFor(unique.size(), jobs,
-                [&](std::size_t i) { solo(unique[i]); });
+    // Prewarm is purely a warm-up: swallow per-name SimErrors here so
+    // one broken benchmark doesn't take down the whole fan-out. The
+    // jobs that actually reference it re-hit the same error in their
+    // own lazy lookup and record it per-job.
+    parallelFor(unique.size(), jobs, [&](std::size_t i) {
+        try {
+            solo(unique[i]);
+        } catch (const SimError &) {
+        }
+    });
 }
 
 std::vector<CoRunResult>
@@ -241,14 +265,50 @@ runCoScheduleBatch(Characterization &chars,
     return parallelMap<CoRunResult>(
         batch.size(), jobs, [&](std::size_t i) {
             const CoRunJob &job = batch[i];
-            std::vector<KernelParams> apps;
-            std::vector<std::uint64_t> targets;
-            for (const std::string &name : job.apps) {
-                apps.push_back(benchmark(name));
-                targets.push_back(chars.target(name));
+            CoRunResult failed;
+            failed.completed = false;
+            failed.error.failed = true;
+            try {
+                std::vector<KernelParams> apps;
+                std::vector<std::uint64_t> targets;
+                for (const std::string &name : job.apps) {
+                    apps.push_back(benchmark(name));
+                    targets.push_back(chars.target(name));
+                }
+                try {
+                    return runCoSchedule(apps, targets, job.kind,
+                                         chars.config(), job.opts);
+                } catch (const DeadlockError &e) {
+                    if (!chars.config().clockSkip)
+                        throw;
+                    // The watchdog fired under clock skipping. Retry
+                    // once with the per-cycle reference loop: if that
+                    // succeeds, the skip fast path (not the workload)
+                    // diverged — report it as such but keep the
+                    // retry's trustworthy numbers.
+                    GpuConfig no_skip = chars.config();
+                    no_skip.clockSkip = false;
+                    CoRunResult r = runCoSchedule(apps, targets,
+                                                  job.kind, no_skip,
+                                                  job.opts);
+                    r.error.failed = true;
+                    r.error.kind = "skip-divergence";
+                    r.error.retriedNoSkip = true;
+                    r.error.message = detail::concat(
+                        "watchdog fired with clock skipping but the "
+                        "no-skip retry completed: ", e.what());
+                    return r;
+                }
+            } catch (const DeadlockError &e) {
+                failed.error.kind = e.kindName();
+                failed.error.retriedNoSkip = chars.config().clockSkip;
+                failed.error.message = detail::concat(
+                    e.what(), "\n", e.report());
+            } catch (const SimError &e) {
+                failed.error.kind = e.kindName();
+                failed.error.message = e.what();
             }
-            return runCoSchedule(apps, targets, job.kind,
-                                 chars.config(), job.opts);
+            return failed;
         });
 }
 

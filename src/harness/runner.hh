@@ -94,6 +94,27 @@ struct CoRunOptions
     TelemetrySampler *telemetry = nullptr;
 };
 
+/**
+ * Per-job failure record for fault-isolated sweeps. A SimError thrown
+ * inside one job of runCoScheduleBatch is caught and recorded here
+ * instead of tearing down the whole sweep; the job's CoRunResult keeps
+ * its defaults (or, for a successful no-skip retry, the retry's
+ * numbers) and the remaining jobs run to completion.
+ */
+struct JobError
+{
+    bool failed = false;
+    /** SimError kind ("internal", "invariant", "deadlock", "config"),
+     *  or "skip-divergence" when the job deadlocked under clock
+     *  skipping but succeeded on the no-skip retry — i.e. the fast
+     *  path itself is the suspect. */
+    std::string kind;
+    std::string message;
+    /** True when the watchdog fired under clock-skip and the job was
+     *  re-run once with clockSkip=false to self-diagnose. */
+    bool retriedNoSkip = false;
+};
+
 /** Result of one co-scheduled run. */
 struct CoRunResult
 {
@@ -114,6 +135,9 @@ struct CoRunResult
     Histogram mshrOccupancy;
     /** DRAM scheduling-queue depth per cycle, merged over partitions. */
     Histogram dramQueueDepth;
+
+    /** Failure record (batch runs only; default = job succeeded). */
+    JobError error;
 };
 
 /**
@@ -174,6 +198,13 @@ struct CoRunJob
  * parallel), then the co-run matrix. Results come back in input order
  * and are bit-identical to running each job serially — every
  * simulation is self-contained and seeded from its own config.
+ *
+ * Jobs are fault-isolated: a SimError (bad config, invariant
+ * violation, watchdog deadlock) in one job is recorded in that job's
+ * CoRunResult::error and the remaining jobs still run. A job whose
+ * watchdog fires under clock skipping gets one bounded retry with
+ * clockSkip=false; if the retry succeeds the divergence is reported as
+ * kind "skip-divergence" alongside the retry's (trustworthy) numbers.
  */
 std::vector<CoRunResult> runCoScheduleBatch(
     Characterization &chars, const std::vector<CoRunJob> &batch,

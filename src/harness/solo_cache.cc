@@ -27,7 +27,8 @@ configFingerprint(const GpuConfig &c)
        << ',' << c.dramQueue << ',' << c.tCL << ',' << c.tRP << ','
        << c.tRC << ',' << c.tRAS << ',' << c.tRCD << ',' << c.tRRD
        << ',' << c.dramBurst << ',' << c.dramRowBytes << ',' << c.seed
-       << ',' << c.clockSkip;
+       << ',' << c.clockSkip << ',' << c.auditCadence << ','
+       << c.watchdogCycles;
     return os.str();
 }
 

@@ -17,6 +17,8 @@
 
 namespace wsl {
 
+struct AuditAccess;
+
 /** Geometry and capacity limits of a cache instance. */
 struct CacheParams
 {
@@ -97,6 +99,8 @@ class Cache
     std::uint64_t misses = 0;
 
   private:
+    friend struct AuditAccess;
+
     struct Line
     {
         Addr tag = 0;

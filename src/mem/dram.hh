@@ -25,6 +25,8 @@
 
 namespace wsl {
 
+struct AuditAccess;
+
 /** One scheduled DRAM transaction. */
 struct DramRequest
 {
@@ -80,6 +82,8 @@ class DramChannel
     PartitionStats stats;
 
   private:
+    friend struct AuditAccess;
+
     /** A queued transaction with its address geometry precomputed. */
     struct BankEntry
     {

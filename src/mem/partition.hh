@@ -19,6 +19,8 @@
 
 namespace wsl {
 
+struct AuditAccess;
+
 /**
  * Memory partition. Requests arrive time-stamped from the interconnect;
  * responses carry their own interconnect latency back to the SMs.
@@ -32,7 +34,12 @@ class MemPartition
     bool canAcceptRequest() const { return reqQueue.size() < 64; }
 
     /** Enqueue a request from the interconnect. */
-    void pushRequest(const MemRequest &req) { reqQueue.push(req); }
+    void
+    pushRequest(const MemRequest &req)
+    {
+        ++acceptedRequests;
+        reqQueue.push(req);
+    }
 
     /** Advance one core cycle. */
     void tick(Cycle now);
@@ -77,13 +84,19 @@ class MemPartition
     void reset();
 
   private:
+    friend struct AuditAccess;
+
     void serviceRequest(const MemRequest &req, Cycle now);
 
     const GpuConfig cfg;
     [[maybe_unused]] unsigned index;
     Cache l2;
     DramChannel dram;
-    RingQueue<MemRequest> reqQueue;
+    RingQueue<MemRequest> reqQueue{64};
+    /** Request-conservation counters for the integrity auditor:
+     *  accepted == serviced + reqQueue.size() at every tick boundary. */
+    std::uint64_t acceptedRequests = 0;
+    std::uint64_t servicedRequests = 0;
     std::vector<MemResponse> outResponses;
     std::vector<DramCompletion> dramDone;  //!< scratch, reused per tick
     PartitionStats l2Stats;

@@ -339,6 +339,30 @@ SmCore::maybeReleaseBarrier(CtaSlot &cta)
 }
 
 void
+SmCore::injectBarrierHangForTest()
+{
+    // Park every live warp at its CTA barrier without running
+    // maybeReleaseBarrier — the release predicate is only re-evaluated
+    // on barrier issue or warp finish, and parked warps do neither, so
+    // the machine is permanently stalled while every count and mask
+    // stays self-consistent (integrity audits pass on purpose: this
+    // models a lost wakeup, not corrupted state).
+    for (CtaSlot &cta : ctas) {
+        if (!cta.active)
+            continue;
+        for (std::uint16_t widx : cta.warpIdxs) {
+            WarpState &w = warps[widx];
+            if (!w.active || w.finished || w.atBarrier)
+                continue;
+            w.atBarrier = true;
+            ++cta.barrierWaiting;
+            updateIssuable(widx);
+        }
+    }
+    invalidateScanCache();
+}
+
+void
 SmCore::finishWarp(std::uint16_t widx)
 {
     WarpState &w = warps[widx];
@@ -376,15 +400,21 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
     WSL_ASSERT(w.ibuf > 0, "advancing without a buffered instruction");
     --w.ibuf;
     ++w.pc;
-    // Reconverge lanes whose rejoin point has been reached (entries
-    // are pushed in branch order; rejoin points are forward, so the
-    // innermost pending rejoin is at the back).
-    while (!w.divStack.empty() &&
-           (w.divStack.back().second == w.pc ||
+    // Reconverge lanes whose rejoin point has been reached. Entries
+    // are independent (mask, rejoin-pc) pairs, not a nesting stack:
+    // dense branch layouts can produce overlapping skip regions whose
+    // rejoin points are reached out of push order, so every entry must
+    // be checked, not just the innermost. (For properly nested
+    // programs the match is always at the back and this degenerates to
+    // the classic pop loop.)
+    for (std::size_t d = w.divStack.size(); d-- > 0;) {
+        if (w.divStack[d].second == w.pc ||
             (w.pc >= w.program->body.size() &&
-             w.divStack.back().second >= w.program->body.size()))) {
-        w.activeMask |= w.divStack.back().first;
-        w.divStack.pop_back();
+             w.divStack[d].second >= w.program->body.size())) {
+            w.activeMask |= w.divStack[d].first;
+            w.divStack.erase(w.divStack.begin() +
+                             static_cast<std::ptrdiff_t>(d));
+        }
     }
     if (w.pc >= w.program->body.size()) {
         WSL_ASSERT(w.divStack.empty(),
@@ -557,7 +587,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                     ++smStats.l1Misses;
                     break;
                   case Cache::ReadResult::Blocked:
-                    panic("L1 MSHR blocked after precheck");
+                    simBug("L1 MSHR blocked after precheck");
                 }
             }
         } else {

@@ -27,6 +27,8 @@
 
 namespace wsl {
 
+struct AuditAccess;
+
 /**
  * One SM. The core is self-contained: the GPU object launches CTAs into
  * it, drains its outgoing memory requests, and delivers responses.
@@ -164,7 +166,19 @@ class SmCore
         invalidateScanCache();
     }
 
+    /**
+     * Test hook: park every live warp of every resident CTA at its
+     * barrier *without* arming a release, emulating a lost-wakeup bug
+     * (the barrier only re-evaluates on barrier issue or warp finish,
+     * and parked warps do neither). Leaves all bookkeeping — masks,
+     * barrierWaiting counts, scheduler lists — self-consistent, so
+     * integrity audits pass while the machine makes no progress: the
+     * exact state the no-progress watchdog exists to catch.
+     */
+    void injectBarrierHangForTest();
+
   private:
+    friend struct AuditAccess;
     /** Why a warp could not issue this cycle. */
     enum class IssueOutcome
     {

@@ -231,7 +231,9 @@ benchmark(const std::string &name)
     for (const auto &k : allBenchmarks())
         if (k.name == name)
             return k;
-    fatal("unknown benchmark: ", name);
+    // Recoverable: a sweep job naming a bogus benchmark should fail
+    // that job, not the process.
+    throw ConfigError("unknown benchmark: " + name);
 }
 
 std::vector<KernelParams>

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * EXPECT_THROW with a substring check on what(). Replaces the old
+ * EXPECT_DEATH tests: library-path failures now throw typed SimErrors
+ * (recoverable by the harness) instead of aborting the process.
+ */
+
+#ifndef WSL_TESTS_EXPECT_THROW_HH
+#define WSL_TESTS_EXPECT_THROW_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/sim_error.hh"
+
+#define WSL_EXPECT_THROW_MSG(stmt, ExType, substr)                      \
+    do {                                                                \
+        bool wsl_caught_ = false;                                       \
+        try {                                                           \
+            stmt;                                                       \
+        } catch (const ExType &wsl_e_) {                                \
+            wsl_caught_ = true;                                         \
+            EXPECT_NE(std::string(wsl_e_.what()).find(substr),          \
+                      std::string::npos)                                \
+                << "exception message '" << wsl_e_.what()               \
+                << "' lacks expected substring '" << (substr) << "'";   \
+        } catch (...) {                                                 \
+            ADD_FAILURE()                                               \
+                << #stmt " threw something other than " #ExType;        \
+        }                                                               \
+        EXPECT_TRUE(wsl_caught_) << #stmt " did not throw " #ExType;    \
+    } while (0)
+
+#endif // WSL_TESTS_EXPECT_THROW_HH

@@ -9,6 +9,7 @@
 
 #include <set>
 
+#include "expect_throw.hh"
 #include "sm/resources.hh"
 #include "workloads/benchmarks.hh"
 
@@ -30,10 +31,10 @@ TEST(Benchmarks, LookupByName)
     EXPECT_EQ(benchmark("NN").blockDim, 169u);
 }
 
-TEST(BenchmarksDeath, UnknownNameIsFatal)
+TEST(BenchmarksErrors, UnknownNameThrows)
 {
-    EXPECT_EXIT(benchmark("NOPE"), ::testing::ExitedWithCode(1),
-                "unknown benchmark");
+    WSL_EXPECT_THROW_MSG(benchmark("NOPE"), ConfigError,
+                         "unknown benchmark");
 }
 
 TEST(Benchmarks, ClassPartition)

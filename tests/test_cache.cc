@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "mem/cache.hh"
 
 using namespace wsl;
@@ -181,7 +182,8 @@ TEST(Cache, ResetClearsEverything)
 
 TEST(CacheDeath, RejectsBadGeometry)
 {
-    EXPECT_DEATH(Cache(CacheParams{64, 4, 1, 1}), "small");
+    WSL_EXPECT_THROW_MSG(Cache(CacheParams{64, 4, 1, 1}),
+                         InternalError, "small");
 }
 
 // ---- Parameterized geometry sweep ----

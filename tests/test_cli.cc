@@ -111,4 +111,35 @@ TEST(Cli, UnknownBenchmarkFails)
     REQUIRE_CLI();
     const auto [status, out] = run("solo NOPE --cycles 1000");
     EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("config error"), std::string::npos);
+    EXPECT_NE(out.find("unknown benchmark"), std::string::npos);
+}
+
+TEST(Cli, AuditedSoloRunSucceeds)
+{
+    REQUIRE_CLI();
+    const auto [status, out] =
+        run("solo IMG --cycles 4000 --audit=500 --watchdog-cycles 2000");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("warp_ipc"), std::string::npos);
+}
+
+TEST(Cli, AuditedCorunMatchesUnaudited)
+{
+    REQUIRE_CLI();
+    const std::string base = "corun IMG NN --policy fixed:4,4 --window 6000";
+    const auto [s0, out0] = run(base);
+    const auto [s1, out1] = run(base + " --audit=1000 --watchdog-cycles 5000");
+    EXPECT_EQ(s0, 0);
+    EXPECT_EQ(s1, 0);
+    // Audits and the watchdog must not perturb the simulation.
+    EXPECT_EQ(out0, out1);
+}
+
+TEST(Cli, ZeroAuditCadenceIsRejected)
+{
+    REQUIRE_CLI();
+    const auto [status, out] = run("solo IMG --cycles 1000 --audit=0");
+    EXPECT_NE(status, 0);
+    EXPECT_NE(out.find("usage"), std::string::npos);
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/config.hh"
+#include "expect_throw.hh"
 
 using namespace wsl;
 
@@ -45,6 +46,83 @@ TEST(Config, MaxWarps)
 {
     EXPECT_EQ(GpuConfig::baseline().maxWarpsPerSm(), 48u);
     EXPECT_EQ(GpuConfig::largeResource().maxWarpsPerSm(), 64u);
+}
+
+// ---- validate() (simulation integrity layer) ----
+
+TEST(ConfigValidate, AcceptsShippedConfigs)
+{
+    EXPECT_NO_THROW(GpuConfig::baseline().validate());
+    EXPECT_NO_THROW(GpuConfig::largeResource().validate());
+}
+
+TEST(ConfigValidate, RejectsZeroSms)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numSms = 0;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "numSms");
+}
+
+TEST(ConfigValidate, RejectsZeroSchedulers)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numSchedulers = 0;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "numSchedulers");
+}
+
+TEST(ConfigValidate, RejectsThreadsNotMultipleOfWarp)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.maxThreadsPerSm = cfg.simtWidth + 1;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError,
+                         "maxThreadsPerSm");
+}
+
+TEST(ConfigValidate, RejectsInconsistentL1Geometry)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    // 16 KB with 5-way associativity: size not a multiple of a way.
+    cfg.l1Assoc = 5;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "L1");
+}
+
+TEST(ConfigValidate, RejectsZeroMshrs)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.l1Mshrs = 0;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "l1Mshrs");
+}
+
+TEST(ConfigValidate, RejectsZeroPartitions)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numMemPartitions = 0;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError,
+                         "numMemPartitions");
+}
+
+TEST(ConfigValidate, RejectsBadDramRowBytes)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.dramRowBytes = lineSize + 1;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "dramRowBytes");
+}
+
+TEST(ConfigValidate, MessagesAreActionable)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.ibufferEntries = 0;
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted ibufferEntries = 0";
+    } catch (const ConfigError &e) {
+        // The message names the offending parameter so the user can
+        // fix the config without reading simulator source.
+        EXPECT_NE(std::string(e.what()).find("invalid GpuConfig"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("ibufferEntries"),
+                  std::string::npos);
+    }
 }
 
 TEST(Config, LargeResourceMatchesSectionVH)

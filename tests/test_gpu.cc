@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/policies.hh"
+#include "expect_throw.hh"
 #include "harness/runner.hh"
 #include "workloads/benchmarks.hh"
 
@@ -225,5 +226,6 @@ TEST(GpuDeath, KernelTableOverflowPanics)
     Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
     for (unsigned i = 0; i < maxConcurrentKernels; ++i)
         gpu.launchKernel(smallGrid());
-    EXPECT_DEATH(gpu.launchKernel(smallGrid()), "full");
+    WSL_EXPECT_THROW_MSG(gpu.launchKernel(smallGrid()), InternalError,
+                         "full");
 }

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <set>
 
+#include "expect_throw.hh"
 #include "workloads/benchmarks.hh"
 
 using namespace wsl;
@@ -116,14 +117,14 @@ TEST(ProgramDeath, ValidateRejectsEmptyBody)
 {
     KernelProgram prog;
     prog.loopIters = 1;
-    EXPECT_DEATH(prog.validate(), "empty");
+    WSL_EXPECT_THROW_MSG(prog.validate(), InternalError, "empty");
 }
 
 TEST(ProgramDeath, ValidateRejectsExplicitExit)
 {
     KernelProgram prog;
     prog.body.push_back({Opcode::Exit, -1, -1, -1, -1, 0});
-    EXPECT_DEATH(prog.validate(), "Exit");
+    WSL_EXPECT_THROW_MSG(prog.validate(), InternalError, "Exit");
 }
 
 // ---- Property sweep over every benchmark model ----

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "expect_throw.hh"
 #include "report/table.hh"
 
 using namespace wsl;
@@ -33,15 +34,16 @@ TEST(Table, Dimensions)
     EXPECT_EQ(t.numColumns(), 2u);
 }
 
-TEST(TableDeath, RowWidthMismatchPanics)
+TEST(TableErrors, RowWidthMismatchThrows)
 {
     Table t({"a", "b"});
-    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+    WSL_EXPECT_THROW_MSG(t.addRow({"only-one"}), InternalError, "width");
 }
 
-TEST(TableDeath, EmptyHeaderPanics)
+TEST(TableErrors, EmptyHeaderThrows)
 {
-    EXPECT_DEATH(Table{std::vector<std::string>{}}, "column");
+    WSL_EXPECT_THROW_MSG(Table{std::vector<std::string>{}},
+                         InternalError, "column");
 }
 
 TEST(Table, TextOutputIsAligned)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_throw.hh"
 #include "sm/resources.hh"
 #include "workloads/benchmarks.hh"
 
@@ -77,10 +78,11 @@ TEST(ResourcePool, CtaSlotLimitBinds)
     EXPECT_FALSE(pool.tryAlloc({1, 1, 1, 1}));
 }
 
-TEST(ResourcePoolDeath, OverFreePanics)
+TEST(ResourcePoolDeath, OverFreeThrows)
 {
     ResourcePool pool({10, 10, 10, 1});
-    EXPECT_DEATH(pool.free({1, 0, 0, 0}), "freeing");
+    WSL_EXPECT_THROW_MSG(pool.free({1, 0, 0, 0}), InternalError,
+                         "freeing");
 }
 
 // ---- maxCtasPerSm limits (paper Section II-C: four launch limits) ----

@@ -62,6 +62,8 @@ struct Options
     SchedulerKind sched = SchedulerKind::Gto;
     bool large = false;
     bool noSkip = false;  //!< force the per-cycle reference loop
+    Cycle auditCadence = 0;    //!< 0 = integrity audits off
+    Cycle watchdogCycles = 0;  //!< 0 = no-progress watchdog off
     std::string csvPath;
     std::string jsonPath;
     std::string tracePath;
@@ -82,7 +84,11 @@ usage(const char *argv0)
                  "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
                  "         --stats-interval N --timeline FILE --jobs N\n"
                  "         --no-skip (disable event-horizon clock "
-                 "skipping; bit-identical, slower)\n",
+                 "skipping; bit-identical, slower)\n"
+                 "         --audit[=N] (run integrity audits every N "
+                 "cycles; default 10000)\n"
+                 "         --watchdog-cycles N (fail with a deadlock "
+                 "report after N cycles without progress)\n",
                  argv0);
     std::exit(2);
 }
@@ -114,6 +120,19 @@ parseArgs(int argc, char **argv)
             opt.large = true;
         else if (arg == "--no-skip")
             opt.noSkip = true;
+        else if (arg == "--audit")
+            opt.auditCadence = 10'000;
+        else if (arg.rfind("--audit=", 0) == 0) {
+            opt.auditCadence =
+                std::strtoull(arg.c_str() + 8, nullptr, 10);
+            if (opt.auditCadence == 0)
+                usage(argv[0]);
+        } else if (arg == "--watchdog-cycles") {
+            opt.watchdogCycles =
+                std::strtoull(next().c_str(), nullptr, 10);
+            if (opt.watchdogCycles == 0)
+                usage(argv[0]);
+        }
         else if (arg == "--trace")
             opt.tracePath = next();
         else if (arg == "--timeline")
@@ -142,6 +161,10 @@ makeConfig(const Options &opt)
                               : GpuConfig::baseline();
     cfg.scheduler = opt.sched;
     cfg.clockSkip = !opt.noSkip;
+    cfg.auditCadence = opt.auditCadence;
+    cfg.watchdogCycles = opt.watchdogCycles;
+    // Fail here with an actionable message, not deep in construction.
+    cfg.validate();
     return cfg;
 }
 
@@ -409,14 +432,31 @@ cmdCombos(const Options &opt)
         runCoScheduleBatch(chars, batch, opt.jobs);
 
     Table table({"ctas_0", "ctas_1", "system_ipc", "vs_leftover"});
+    unsigned failed = 0;
     for (std::size_t i = 0; i < combos.size(); ++i) {
         const CoRunResult &r = results[i];
+        if (r.error.failed) {
+            ++failed;
+            table.addRow({std::to_string(combos[i][0]),
+                          std::to_string(combos[i][1]),
+                          "failed(" + r.error.kind + ")", "-"});
+            std::fprintf(stderr, "combo %d,%d failed (%s): %s\n",
+                         combos[i][0], combos[i][1],
+                         r.error.kind.c_str(),
+                         r.error.message.c_str());
+            continue;
+        }
         table.addRow({std::to_string(combos[i][0]),
                       std::to_string(combos[i][1]),
                       Table::num(r.sysIpc),
                       Table::num(r.sysIpc / base.sysIpc)});
     }
     emit(opt, table);
+    if (failed != 0) {
+        std::fprintf(stderr, "%u of %zu combos failed\n", failed,
+                     combos.size());
+        return 1;
+    }
     return 0;
 }
 
@@ -429,18 +469,29 @@ main(int argc, char **argv)
     if (!opt.tracePath.empty() || !opt.timelinePath.empty())
         Tracer::global().enable(1 << 20);
     int rc = 2;
-    if (opt.command == "list")
-        rc = cmdList(opt);
-    else if (opt.command == "solo")
-        rc = cmdSolo(opt);
-    else if (opt.command == "curves")
-        rc = cmdCurves(opt);
-    else if (opt.command == "corun")
-        rc = cmdCorun(opt);
-    else if (opt.command == "combos")
-        rc = cmdCombos(opt);
-    else
-        usage(argv[0]);
+    try {
+        if (opt.command == "list")
+            rc = cmdList(opt);
+        else if (opt.command == "solo")
+            rc = cmdSolo(opt);
+        else if (opt.command == "curves")
+            rc = cmdCurves(opt);
+        else if (opt.command == "corun")
+            rc = cmdCorun(opt);
+        else if (opt.command == "combos")
+            rc = cmdCombos(opt);
+        else
+            usage(argv[0]);
+    } catch (const SimError &e) {
+        // The process boundary for recoverable simulator errors:
+        // report with the error's kind and exit non-zero instead of
+        // unwinding into an abort.
+        std::fprintf(stderr, "wslicer-sim: %s error: %s\n",
+                     e.kindName(), e.what());
+        if (const auto *dl = dynamic_cast<const DeadlockError *>(&e))
+            std::fputs(dl->report().c_str(), stderr);
+        return 1;
+    }
     if (!opt.tracePath.empty()) {
         std::ofstream os(opt.tracePath);
         if (!os)
