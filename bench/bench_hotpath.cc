@@ -5,7 +5,9 @@
  * idle memory partition, idle whole-GPU tick) and reports end-to-end
  * simulation throughput in cycles/second for a compute-bound (MM) and
  * a memory-stalled (LBM) workload, each with event-horizon clock
- * skipping enabled and disabled.
+ * skipping enabled and disabled, plus the same workloads under the
+ * parallel tick engine at 1/2/4 tick threads (results are
+ * bit-identical by construction; only wall clock changes).
  *
  * Usage: bench_hotpath [--out FILE]   (default BENCH_hotpath.json)
  *
@@ -21,6 +23,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.hh"
@@ -52,12 +55,13 @@ struct RunCost
  *  partitions and return simulated cycles + wall seconds. */
 RunCost
 runWorkload(const char *bench, Cycle window, bool skip, unsigned sms,
-            unsigned parts)
+            unsigned parts, unsigned tick_threads = 1)
 {
     GpuConfig cfg = GpuConfig::baseline();
     cfg.clockSkip = skip;
     cfg.numSms = sms;
     cfg.numMemPartitions = parts;
+    cfg.tickThreads = tick_threads;
     Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
     gpu.launchKernel(benchmark(bench));
     const auto t0 = std::chrono::steady_clock::now();
@@ -173,6 +177,30 @@ main(int argc, char **argv)
                     r.noskip.cycles / r.noskip.secs / 1e6);
     }
 
+    // Parallel tick engine scaling: the same full-GPU runs at 1/2/4
+    // tick threads, skipping off so every cycle pays the tick cost the
+    // worker pool is sharding. Speedups only materialize with spare
+    // hardware threads; the JSON records the host's count so readers
+    // can interpret the numbers (on a 1-core host the 2/4-thread rows
+    // measure pool overhead, not speedup).
+    constexpr unsigned tick_counts[] = {1, 2, 4};
+    double tick_rate[2][3] = {};
+    std::printf("tick-thread scaling (no clock skipping, %u hw "
+                "threads):\n",
+                std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            const RunCost c =
+                runWorkload(rows[i].bench, window, false, base.numSms,
+                            base.numMemPartitions, tick_counts[j]);
+            tick_rate[i][j] = c.cycles / c.secs;
+        }
+        std::printf("  %s (%s): %.2f / %.2f / %.2f Mcyc/s at 1/2/4 "
+                    "tick threads\n",
+                    rows[i].label, rows[i].bench, tick_rate[i][0] / 1e6,
+                    tick_rate[i][1] / 1e6, tick_rate[i][2] / 1e6);
+    }
+
     std::ofstream os(out_path);
     if (!os) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -180,6 +208,8 @@ main(int argc, char **argv)
     }
     os << "{\n"
        << "  \"window_cycles\": " << window << ",\n"
+       << "  \"hardware_threads\": "
+       << std::thread::hardware_concurrency() << ",\n"
        << "  \"micro_window_cycles\": " << micro_window << ",\n"
        << "  \"idle_gpu_tick_ns\": " << idle_ns << ",\n"
        << "  \"sm_tick_ns_compute\": " << sm_compute_ns << ",\n"
@@ -197,7 +227,12 @@ main(int argc, char **argv)
            << r.skip.cycles / r.skip.secs << ",\n"
            << "      \"seconds_noskip\": " << r.noskip.secs << ",\n"
            << "      \"cycles_per_sec_noskip\": "
-           << r.noskip.cycles / r.noskip.secs << "\n"
+           << r.noskip.cycles / r.noskip.secs << ",\n"
+           << "      \"cycles_per_sec_tick_threads\": {\n"
+           << "        \"1\": " << tick_rate[i][0] << ",\n"
+           << "        \"2\": " << tick_rate[i][1] << ",\n"
+           << "        \"4\": " << tick_rate[i][2] << "\n"
+           << "      }\n"
            << "    }" << (i == 0 ? "," : "") << "\n";
     }
     os << "  }\n}\n";

@@ -1,16 +1,20 @@
 /**
  * @file
  * Wall-clock benchmark and correctness gate for the experiment engine:
- * runs the full 30-pair x 4-policy evaluation matrix four ways —
- * serially and on `--jobs` worker threads, each with event-horizon
- * clock skipping enabled (the default) and forcibly disabled
- * (clockSkip=false, the per-cycle reference loop) — verifies all four
- * result sets are bit-identical, and reports the speedups.
+ * runs the full 30-pair x 4-policy evaluation matrix eight ways —
+ * {serial, `--jobs` worker threads} x {event-horizon clock skipping
+ * on, off} x {tick-threads 1, `--tick-threads` N} — verifies all
+ * eight result sets are bit-identical, and reports the speedups. This
+ * is the gate that lets clock skipping, batch parallelism, and the
+ * intra-run parallel tick engine all claim "pure performance toggle".
  *
- * Usage: bench_sweep [--quick] [--jobs N] [--out FILE]
+ * Usage: bench_sweep [--quick] [--jobs N] [--tick-threads N] [--out FILE]
  *   --quick   evaluate only the first 6 pairs (CI-sized)
  *   --jobs N  worker threads for the parallel passes (default WSL_JOBS,
  *             0 = all hardware threads)
+ *   --tick-threads N  intra-run tick threads for the tick passes
+ *             (default 4; the single-run passes use them un-clamped,
+ *             the batch passes compose them against --jobs)
  *   --out F   JSON report path (default BENCH_sweep.json)
  *
  * The solo-characterization cache is cleared before each pass so both
@@ -22,6 +26,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/parallel.hh"
@@ -81,6 +86,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     unsigned jobs = defaultJobs();
+    unsigned tick_threads = 4;
     std::string out_path = "BENCH_sweep.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
@@ -88,22 +94,34 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--jobs") == 0 &&
                    i + 1 < argc) {
             jobs = parseJobs(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--tick-threads") == 0 &&
+                   i + 1 < argc) {
+            tick_threads = parseJobs(argv[++i], "--tick-threads");
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--quick] [--jobs N] [--out FILE]\n",
+                         "usage: %s [--quick] [--jobs N] "
+                         "[--tick-threads N] [--out FILE]\n",
                          argv[0]);
             return 2;
         }
     }
+    if (tick_threads < 1)
+        tick_threads = 1;
 
     const GpuConfig cfg = GpuConfig::baseline();
     GpuConfig cfg_noskip = cfg;
     cfg_noskip.clockSkip = false;
+    GpuConfig cfg_tick = cfg;
+    cfg_tick.tickThreads = tick_threads;
+    GpuConfig cfg_tick_noskip = cfg_noskip;
+    cfg_tick_noskip.tickThreads = tick_threads;
     const Cycle window = defaultWindow();
     Characterization chars(cfg, window);
     Characterization chars_noskip(cfg_noskip, window);
+    Characterization chars_tick(cfg_tick, window);
+    Characterization chars_tick_noskip(cfg_tick_noskip, window);
 
     std::vector<WorkloadPair> pairs = evaluationPairs();
     if (quick && pairs.size() > 6)
@@ -129,22 +147,41 @@ main(int argc, char **argv)
 
     std::vector<CoRunResult> serial, parallel;
     std::vector<CoRunResult> serial_ref, parallel_ref;
+    std::vector<CoRunResult> tick, tick_ref;
+    std::vector<CoRunResult> par_tick, par_tick_ref;
     const double t_serial = timedRun(chars, batch, 1, serial);
-    std::printf("serial:          %7.2fs (1 thread)\n", t_serial);
+    std::printf("serial:            %7.2fs (1 thread)\n", t_serial);
     const double t_parallel = timedRun(chars, batch, jobs, parallel);
-    std::printf("parallel:        %7.2fs (%u threads)\n", t_parallel,
+    std::printf("parallel:          %7.2fs (%u threads)\n", t_parallel,
                 jobs);
     const double t_serial_ref =
         timedRun(chars_noskip, batch, 1, serial_ref);
-    std::printf("serial no-skip:  %7.2fs (1 thread)\n", t_serial_ref);
+    std::printf("serial no-skip:    %7.2fs (1 thread)\n", t_serial_ref);
     const double t_parallel_ref =
         timedRun(chars_noskip, batch, jobs, parallel_ref);
-    std::printf("parallel no-skip:%7.2fs (%u threads)\n", t_parallel_ref,
-                jobs);
+    std::printf("parallel no-skip:  %7.2fs (%u threads)\n",
+                t_parallel_ref, jobs);
+    // Tick passes: single-run intra-GPU parallelism (jobs=1 keeps the
+    // composition rule from clamping the tick threads away), then both
+    // levels composed.
+    const double t_tick = timedRun(chars_tick, batch, 1, tick);
+    std::printf("tick-par:          %7.2fs (1 job x %u tick threads)\n",
+                t_tick, tick_threads);
+    const double t_tick_ref =
+        timedRun(chars_tick_noskip, batch, 1, tick_ref);
+    std::printf("tick-par no-skip:  %7.2fs (1 job x %u tick threads)\n",
+                t_tick_ref, tick_threads);
+    const double t_par_tick = timedRun(chars_tick, batch, jobs, par_tick);
+    std::printf("both levels:       %7.2fs (%u jobs x <=%u tick "
+                "threads)\n", t_par_tick, jobs, tick_threads);
+    const double t_par_tick_ref =
+        timedRun(chars_tick_noskip, batch, jobs, par_tick_ref);
+    std::printf("both no-skip:      %7.2fs (%u jobs x <=%u tick "
+                "threads)\n", t_par_tick_ref, jobs, tick_threads);
 
-    // All four passes must agree byte for byte: parallelism must not
-    // perturb results, and event-horizon skipping must be invisible
-    // next to the per-cycle reference loop.
+    // All eight passes must agree byte for byte: neither level of
+    // parallelism may perturb results, and event-horizon skipping must
+    // be invisible next to the per-cycle reference loop.
     auto same_as_serial = [&](const std::vector<CoRunResult> &other) {
         if (other.size() != serial.size())
             return false;
@@ -156,14 +193,21 @@ main(int argc, char **argv)
     const bool thread_identical = same_as_serial(parallel);
     const bool skip_identical = same_as_serial(serial_ref) &&
                                 same_as_serial(parallel_ref);
-    const bool identical = thread_identical && skip_identical;
+    const bool tick_identical =
+        same_as_serial(tick) && same_as_serial(tick_ref) &&
+        same_as_serial(par_tick) && same_as_serial(par_tick_ref);
+    const bool identical =
+        thread_identical && skip_identical && tick_identical;
     const double speedup = t_parallel > 0 ? t_serial / t_parallel : 0;
     const double skip_speedup =
         t_serial > 0 ? t_serial_ref / t_serial : 0;
+    const double tick_speedup = t_tick > 0 ? t_serial / t_tick : 0;
     std::printf("thread speedup:  %7.2fx   results %s\n", speedup,
                 thread_identical ? "bit-identical" : "DIVERGED");
     std::printf("skip speedup:    %7.2fx   results %s\n", skip_speedup,
                 skip_identical ? "bit-identical" : "DIVERGED");
+    std::printf("tick speedup:    %7.2fx   results %s\n", tick_speedup,
+                tick_identical ? "bit-identical" : "DIVERGED");
 
     // Serial co-run throughput in simulated Mcycles/s: to first order
     // window- and pair-count-invariant, so a --quick CI run can be
@@ -189,8 +233,18 @@ main(int argc, char **argv)
            << "  \"serial_noskip_seconds\": " << t_serial_ref << ",\n"
            << "  \"parallel_noskip_seconds\": " << t_parallel_ref
            << ",\n"
+           << "  \"hardware_threads\": "
+           << std::thread::hardware_concurrency() << ",\n"
+           << "  \"tick_threads\": " << tick_threads << ",\n"
+           << "  \"serial_tick_seconds\": " << t_tick << ",\n"
+           << "  \"serial_tick_noskip_seconds\": " << t_tick_ref
+           << ",\n"
+           << "  \"parallel_tick_seconds\": " << t_par_tick << ",\n"
+           << "  \"parallel_tick_noskip_seconds\": " << t_par_tick_ref
+           << ",\n"
            << "  \"speedup\": " << speedup << ",\n"
            << "  \"clock_skip_speedup\": " << skip_speedup << ",\n"
+           << "  \"tick_speedup\": " << tick_speedup << ",\n"
            << "  \"simulated_cycles\": " << sim_cycles << ",\n"
            << "  \"serial_mcycles_per_sec\": " << mcps << ",\n"
            << "  \"identical\": " << (identical ? "true" : "false")

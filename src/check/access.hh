@@ -173,6 +173,16 @@ struct AuditAccess
     {
         return part.outResponses.size();
     }
+    static std::uint64_t pushedResponses(const MemPartition &part)
+    {
+        return part.pushedResponses;
+    }
+    /** Input-queue contents, oldest first (merge-order tests). */
+    static const RingQueue<MemRequest> &
+    reqQueue(const MemPartition &part)
+    {
+        return part.reqQueue;
+    }
     static const Cache &l2(const MemPartition &part) { return part.l2; }
     static const DramChannel &dram(const MemPartition &part)
     {

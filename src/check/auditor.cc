@@ -421,6 +421,41 @@ checkPartitionConservation(const Gpu &gpu, std::vector<std::string> &out)
 }
 
 /**
+ * Staging conservation across the two-phase tick: every request the
+ * interconnect stage committed is counted by exactly one partition's
+ * accepted counter, and every response a partition staged was
+ * delivered exactly once or is still staged. A tick-parallel merge
+ * that dropped, duplicated, or bypassed the ordered commit path
+ * diverges these sums at the very next audit.
+ */
+void
+checkStagingConservation(const Gpu &gpu, std::vector<std::string> &out)
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t staged = 0;
+    for (unsigned p = 0; p < gpu.numPartitions(); ++p) {
+        const MemPartition &part = gpu.partition(p);
+        accepted += AuditAccess::accepted(part);
+        pushed += AuditAccess::pushedResponses(part);
+        staged += AuditAccess::responseCount(part);
+    }
+    const InterconnectStage &icnt = gpu.interconnect();
+    if (icnt.routedRequests() != accepted) {
+        out.push_back("interconnect stage routed " +
+                      std::to_string(icnt.routedRequests()) +
+                      " requests != partitions accepted " +
+                      std::to_string(accepted));
+    }
+    if (pushed != icnt.deliveredResponses() + staged) {
+        out.push_back("partitions staged " + std::to_string(pushed) +
+                      " responses != stage delivered " +
+                      std::to_string(icnt.deliveredResponses()) +
+                      " + still staged " + std::to_string(staged));
+    }
+}
+
+/**
  * Kernel-table accounting: per-SM resident CTA sums must equal the
  * dispatcher's issued-minus-completed count (zero once evicted).
  */
@@ -472,6 +507,7 @@ Auditor::Auditor(Cycle cadence, bool with_standard_checks)
     registerCheck("sm-barrier", checkSmBarriers);
     registerCheck("sm-masks", checkSmMasks);
     registerCheck("mem-conservation", checkPartitionConservation);
+    registerCheck("staging-conservation", checkStagingConservation);
     registerCheck("kernel-accounting", checkKernelAccounting);
 }
 

@@ -52,6 +52,12 @@ GpuConfig::validate() const
     // ---- machine shape ----
     if (numSms == 0)
         reject("numSms is 0 — no SMs to run on");
+    if (numSms > 1024) {
+        reject("numSms " + std::to_string(numSms) +
+               " exceeds 1024 — SM ids are stored in 16-bit warp/CTA "
+               "bookkeeping and no modeled GPU approaches this; "
+               "likely a typo'd value");
+    }
     if (numSchedulers == 0)
         reject("numSchedulers is 0 — no warp scheduler can issue");
     if (maxThreadsPerSm < warpSize) {
@@ -87,6 +93,12 @@ GpuConfig::validate() const
         reject("l1MissQueue is 0 — no miss can leave the SM");
     if (numMemPartitions == 0)
         reject("numMemPartitions is 0 — memory requests have no home");
+    if (numMemPartitions > 1024) {
+        reject("numMemPartitions " + std::to_string(numMemPartitions) +
+               " exceeds 1024 — the line interleave (partitionOf) is a "
+               "plain modulo, so any count works, but nothing close to "
+               "this many channels exists; likely a typo'd value");
+    }
     checkCacheGeometry("L2", l2SizePerPartition, l2Assoc);
     if (l2Mshrs == 0)
         reject("l2Mshrs is 0 — every L2 miss would block forever");
@@ -102,6 +114,13 @@ GpuConfig::validate() const
         reject("dramRowBytes " + std::to_string(dramRowBytes) +
                " must be a non-zero multiple of the " +
                std::to_string(lineSize) + " B line size");
+    }
+
+    // ---- simulation control ----
+    if (tickThreads == 0) {
+        reject("tickThreads is 0 — use 1 for the serial tick engine "
+               "(the --tick-threads/WSL_TICK_THREADS parse layer maps "
+               "0 to the hardware concurrency before it reaches here)");
     }
 }
 

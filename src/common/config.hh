@@ -87,6 +87,14 @@ struct GpuConfig
      *  toggle: results are bit-identical either way (the bench_sweep
      *  gate enforces this); false forces the per-cycle reference loop. */
     bool clockSkip = true;
+    /** Worker threads sharding the per-cycle SM/partition ticks inside
+     *  one Gpu (intra-run parallelism). Pure performance toggle like
+     *  clockSkip: cross-component traffic is staged per component and
+     *  merged in fixed index order at a cycle barrier, so results are
+     *  bit-identical for any thread count (the bench_sweep 8-way gate
+     *  enforces this). 1 (the default) is the serial engine with no
+     *  pool at all; clamped to the component count. */
+    unsigned tickThreads = 1;
 
     // ---- Integrity layer (check/) ----
     /** Invariant-audit cadence in cycles; 0 disables audits. Audits

@@ -24,6 +24,68 @@ Gpu::Gpu(const GpuConfig &c, std::unique_ptr<SlicingPolicy> p)
         partitions.push_back(std::make_unique<MemPartition>(cfg, p_idx));
     if (cfg.auditCadence != 0)
         auditor = std::make_unique<Auditor>(cfg.auditCadence);
+
+    smPtrs.reserve(sms.size());
+    for (auto &sm_ptr : sms)
+        smPtrs.push_back(sm_ptr.get());
+    partPtrs.reserve(partitions.size());
+    for (auto &part : partitions)
+        partPtrs.push_back(part.get());
+
+    // Intra-run tick pool: more workers than SMs would only idle at
+    // the barrier, so clamp there. The phase closures are built once;
+    // each captures only `this` and reads the live cycle/skip state
+    // through it, so dispatching a phase is a single pool.run().
+    const unsigned tick_threads =
+        std::min(cfg.tickThreads, cfg.numSms);
+    if (tick_threads > 1) {
+        pool = std::make_unique<TickPool>(tick_threads);
+        horizonShard.assign(tick_threads, neverCycle);
+        smPhase = [this](unsigned t) {
+            // Tag worker-side assertion failures with our cycle, as
+            // run() does for the dispatching thread.
+            SimContextGuard context(&now);
+            const auto [begin, end] =
+                shardRange(smPtrs.size(), t, pool->threads());
+            for (std::size_t i = begin; i < end; ++i) {
+                SmCore &core = *smPtrs[i];
+                if (core.quiescent(now))
+                    core.skipTick(now, 1);
+                else
+                    core.tick(now);
+            }
+        };
+        partPhase = [this](unsigned t) {
+            SimContextGuard context(&now);
+            const auto [begin, end] =
+                shardRange(partPtrs.size(), t, pool->threads());
+            for (std::size_t i = begin; i < end; ++i)
+                partPtrs[i]->tick(now);
+        };
+        skipPhase = [this](unsigned t) {
+            SimContextGuard context(&now);
+            const auto [begin, end] =
+                shardRange(smPtrs.size(), t, pool->threads());
+            for (std::size_t i = begin; i < end; ++i)
+                smPtrs[i]->skipTick(now, pendingSkip);
+            const auto [pbegin, pend] =
+                shardRange(partPtrs.size(), t, pool->threads());
+            for (std::size_t i = pbegin; i < pend; ++i)
+                partPtrs[i]->skipTick(pendingSkip);
+        };
+        horizonPhase = [this](unsigned t) {
+            const auto [begin, end] =
+                shardRange(smPtrs.size(), t, pool->threads());
+            Cycle h = neverCycle;
+            for (std::size_t i = begin; i < end && h > now; ++i)
+                h = std::min(h, smPtrs[i]->nextEventAt(now));
+            const auto [pbegin, pend] =
+                shardRange(partPtrs.size(), t, pool->threads());
+            for (std::size_t i = pbegin; i < pend && h > now; ++i)
+                h = std::min(h, partPtrs[i]->nextEventAt(now));
+            horizonShard[t] = h;
+        };
+    }
 }
 
 KernelId
@@ -120,36 +182,31 @@ Gpu::dispatch()
 }
 
 void
-Gpu::routeMemory()
+Gpu::tickSms()
 {
-    // SM -> partition requests, respecting per-partition queue limits.
+    if (pool) {
+        pool->run(smPhase);
+        return;
+    }
     for (auto &sm_ptr : sms) {
-        auto &out = sm_ptr->outgoingRequests();
-        if (out.empty())
-            continue;
-        const std::size_t had = out.size();
-        std::size_t kept = 0;
-        for (std::size_t i = 0; i < out.size(); ++i) {
-            MemPartition &part =
-                *partitions[partitionOf(out[i].line,
-                                        cfg.numMemPartitions)];
-            if (part.canAcceptRequest())
-                part.pushRequest(out[i]);
-            else
-                out[kept++] = out[i];
-        }
-        out.resize(kept);
-        if (kept < had)
-            sm_ptr->noteOutgoingDrained();
+        // A drained core can only burn Idle slots this cycle; account
+        // them in bulk instead of running the pipeline stages.
+        if (sm_ptr->quiescent(now))
+            sm_ptr->skipTick(now, 1);
+        else
+            sm_ptr->tick(now);
     }
+}
 
-    for (auto &part : partitions) {
-        part->tick(now);
-        auto &resps = part->responses();
-        for (const MemResponse &resp : resps)
-            sms[resp.sm]->deliverResponse(resp);
-        resps.clear();
+void
+Gpu::tickPartitions()
+{
+    if (pool) {
+        pool->run(partPhase);
+        return;
     }
+    for (auto &part : partitions)
+        part->tick(now);
 }
 
 void
@@ -215,15 +272,16 @@ Gpu::tick()
     policyDirty = false;
     policy->tick(*this, now);
     dispatch();
-    for (auto &sm_ptr : sms) {
-        // A drained core can only burn Idle slots this cycle; account
-        // them in bulk instead of running the pipeline stages.
-        if (sm_ptr->quiescent(now))
-            sm_ptr->skipTick(now, 1);
-        else
-            sm_ptr->tick(now);
-    }
-    routeMemory();
+    // Two-phase tick. Compute phases (tickSms/tickPartitions) touch
+    // only per-component state and may run sharded across the pool;
+    // the interconnect stage between them commits the staged traffic
+    // serially in fixed index order — the same order the old
+    // routeMemory() produced — which is what keeps any thread count
+    // bit-identical to the serial engine.
+    tickSms();
+    icnt.mergeRequests(smPtrs, partPtrs);
+    tickPartitions();
+    icnt.deliverResponses(partPtrs, smPtrs);
     drainCtaEvents();
     checkKernelProgress();
     ++now;
@@ -244,7 +302,7 @@ Gpu::attachTelemetry(TelemetrySampler *sampler)
 }
 
 Cycle
-Gpu::nextHorizon(Cycle end) const
+Gpu::nextHorizon(Cycle end)
 {
     // A kernel-set change this tick may have shifted temporal policy
     // state (e.g. the TimeSlice owner); run one un-skipped tick so the
@@ -262,6 +320,18 @@ Gpu::nextHorizon(Cycle end) const
         if (sample <= now + 1)
             return now;
         h = std::min(h, sample - 1);
+    }
+    if (pool) {
+        // Sharded min-reduce: each worker scans its component slice
+        // (with the same early-out at `now`) into its own slot; min
+        // of per-worker minima == min of the serial scan.
+        pool->run(horizonPhase);
+        for (const Cycle shard_min : horizonShard) {
+            if (shard_min <= now)
+                return now;
+            h = std::min(h, shard_min);
+        }
+        return h;
     }
     for (const auto &sm_ptr : sms) {
         const Cycle e = sm_ptr->nextEventAt(now);
@@ -281,10 +351,15 @@ Gpu::nextHorizon(Cycle end) const
 void
 Gpu::bulkSkip(Cycle cycles)
 {
-    for (auto &sm_ptr : sms)
-        sm_ptr->skipTick(now, cycles);
-    for (auto &part : partitions)
-        part->skipTick(cycles);
+    if (pool) {
+        pendingSkip = cycles;
+        pool->run(skipPhase);
+    } else {
+        for (auto &sm_ptr : sms)
+            sm_ptr->skipTick(now, cycles);
+        for (auto &part : partitions)
+            part->skipTick(cycles);
+    }
     now += cycles;
 }
 

@@ -17,6 +17,8 @@
 #include "common/stats.hh"
 #include "gpu/kernel.hh"
 #include "gpu/policy.hh"
+#include "gpu/staging.hh"
+#include "harness/tick_pool.hh"
 #include "mem/partition.hh"
 #include "sm/sm_core.hh"
 
@@ -107,9 +109,29 @@ class Gpu
      *  extra checks or read the audit count. */
     Auditor *integrityAuditor() { return auditor.get(); }
 
+    /** The ordered SM <-> partition traffic merge (conservation
+     *  counters for the auditor's staging check). */
+    const InterconnectStage &interconnect() const { return icnt; }
+
+    /** The intra-run tick pool: non-null iff cfg.tickThreads > 1
+     *  (clamped to the SM count). Exposed for tests — e.g. to force
+     *  out-of-order worker completion through the pool's test hook. */
+    TickPool *tickPool() { return pool.get(); }
+
   private:
     void dispatch();
-    void routeMemory();
+
+    /**
+     * Parallel compute phase of a tick: every SM's (then, after the
+     * request merge, every partition's) tick runs on the pool,
+     * sharded contiguously by component index. Components only touch
+     * their own state during this phase; all cross-component traffic
+     * waits, staged, for the serial commit phase. Falls back to the
+     * plain serial loop when there is no pool.
+     */
+    void tickSms();
+    void tickPartitions();
+
     void drainCtaEvents();
     void checkKernelProgress();
 
@@ -128,9 +150,11 @@ class Gpu
     /**
      * Earliest cycle > now at which any component could act, clamped
      * to `end`; returns `now` itself when some component needs the
-     * very next cycle (no skip possible).
+     * very next cycle (no skip possible). With a tick pool the
+     * per-component scan runs as a sharded min-reduce (non-const only
+     * for the per-worker scratch minima).
      */
-    Cycle nextHorizon(Cycle end) const;
+    Cycle nextHorizon(Cycle end);
 
     /** Jump the clock by `cycles` guaranteed-eventless cycles,
      *  bulk-accounting every SM and partition. */
@@ -144,6 +168,23 @@ class Gpu
     TelemetrySampler *telem = nullptr;
     std::unique_ptr<Auditor> auditor;
     Cycle now = 0;
+
+    // ---- Intra-run tick parallelism (cfg.tickThreads > 1) ----
+    /** Raw component pointers, built once: phase lambdas and the
+     *  interconnect stage iterate these without touching the
+     *  unique_ptr vectors each cycle. */
+    std::vector<SmCore *> smPtrs;
+    std::vector<MemPartition *> partPtrs;
+    InterconnectStage icnt;
+    std::unique_ptr<TickPool> pool;
+    /** Pre-built phase closures: constructing a std::function per
+     *  tick would put an allocation back on the hot path. */
+    std::function<void(unsigned)> smPhase;
+    std::function<void(unsigned)> partPhase;
+    std::function<void(unsigned)> skipPhase;
+    std::function<void(unsigned)> horizonPhase;
+    Cycle pendingSkip = 0;          //!< argument to skipPhase
+    std::vector<Cycle> horizonShard; //!< per-worker horizon minima
 
     // No-progress watchdog state (used only when cfg.watchdogCycles).
     Cycle lastProgressCycle = 0;

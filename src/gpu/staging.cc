@@ -1,0 +1,52 @@
+#include "gpu/staging.hh"
+
+#include "mem/partition.hh"
+#include "mem/request.hh"
+#include "sm/sm_core.hh"
+
+namespace wsl {
+
+void
+InterconnectStage::mergeRequests(
+    const std::vector<SmCore *> &sms,
+    const std::vector<MemPartition *> &partitions)
+{
+    const unsigned nparts = static_cast<unsigned>(partitions.size());
+    for (SmCore *sm : sms) {
+        auto &out = sm->outgoingRequests();
+        if (out.empty())
+            continue;
+        const std::size_t had = out.size();
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            MemPartition &part =
+                *partitions[partitionOf(out[i].line, nparts)];
+            if (part.canAcceptRequest()) {
+                part.pushRequest(out[i]);
+                ++routed;
+            } else {
+                out[kept++] = out[i];
+            }
+        }
+        out.resize(kept);
+        if (kept < had)
+            sm->noteOutgoingDrained();
+    }
+}
+
+void
+InterconnectStage::deliverResponses(
+    const std::vector<MemPartition *> &partitions,
+    const std::vector<SmCore *> &sms)
+{
+    for (MemPartition *part : partitions) {
+        auto &resps = part->responses();
+        for (const MemResponse &resp : resps) {
+            sms[resp.sm]->deliverResponse(resp);
+            ++delivered;
+        }
+        resps.clear();
+    }
+}
+
+} // namespace wsl

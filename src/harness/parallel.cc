@@ -53,6 +53,29 @@ defaultJobs()
     return parseJobs(std::getenv("WSL_JOBS"), "WSL_JOBS");
 }
 
+unsigned
+defaultTickThreads()
+{
+    return parseJobs(std::getenv("WSL_TICK_THREADS"),
+                     "WSL_TICK_THREADS");
+}
+
+unsigned
+composeTickThreads(unsigned jobs, unsigned tick_threads)
+{
+    if (tick_threads <= 1)
+        return 1;
+    if (jobs <= 1)
+        return tick_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        return 1;  // unknown machine: don't multiply thread counts
+    if (jobs >= hw)
+        return 1;  // batch already saturates every core
+    const unsigned per_run = hw / jobs;
+    return tick_threads < per_run ? tick_threads : per_run;
+}
+
 void
 parallelFor(std::size_t n, unsigned jobs,
             const std::function<void(std::size_t)> &fn)

@@ -31,6 +31,20 @@ unsigned parseJobs(const char *text, const char *what);
 /** Worker threads from the WSL_JOBS environment variable (default 1). */
 unsigned defaultJobs();
 
+/** Intra-run tick threads from WSL_TICK_THREADS (default 1 = the
+ *  serial tick engine). Same parse rules as defaultJobs(). */
+unsigned defaultTickThreads();
+
+/**
+ * Compose batch-level and tick-level parallelism without
+ * oversubscribing the machine: with `jobs` concurrent simulations the
+ * per-run tick-thread count is clamped so jobs x threads stays within
+ * the hardware concurrency (and a fully loaded batch runs each
+ * simulation serially). Never returns 0; returns `tick_threads`
+ * unchanged when jobs <= 1.
+ */
+unsigned composeTickThreads(unsigned jobs, unsigned tick_threads);
+
 /**
  * Run fn(0) ... fn(n-1), fanning out over `jobs` worker threads
  * (clamped to [1, n]; 1 runs inline). Indices are handed out through

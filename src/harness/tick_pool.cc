@@ -1,0 +1,148 @@
+#include "harness/tick_pool.hh"
+
+namespace wsl {
+
+namespace {
+
+/** Busy-wait hint: de-prioritize the spinning hyperthread without
+ *  giving up the time slice. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/** Spin budget before escalating to yield. Pure spinning is wasted
+ *  work when the machine cannot run dispatcher and workers at once,
+ *  so a single-core host goes straight to yield. */
+unsigned
+spinBudget()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? 512 : 0;
+}
+
+/** Yields tolerated on top of the spin budget before a worker parks
+ *  on the epoch futex. Dispatch gaps inside Gpu::run() are far below
+ *  a scheduling quantum, so parking only happens between runs. */
+constexpr unsigned yieldBudget = 64;
+
+} // namespace
+
+TickPool::TickPool(unsigned threads)
+    : total(threads < 1 ? 1 : threads), errors(total)
+{
+    workers.reserve(total - 1);
+    for (unsigned t = 1; t < total; ++t)
+        workers.emplace_back([this, t] { workerLoop(t); });
+}
+
+TickPool::~TickPool()
+{
+    stopping.store(true, std::memory_order_relaxed);
+    // The seq_cst bump publishes `stopping` to every worker, parked
+    // or spinning.
+    epoch.fetch_add(1, std::memory_order_seq_cst);
+    epoch.notify_all();
+    workers.clear();  // jthreads join here
+}
+
+void
+TickPool::run(const std::function<void(unsigned)> &fn)
+{
+    if (total <= 1) {
+        if (testHook)
+            testHook(0);
+        fn(0);
+        return;
+    }
+    job = &fn;
+    remaining.store(total - 1, std::memory_order_relaxed);
+    // One RMW releases the job pointer and the caller's pre-phase
+    // writes (all simulator state mutated since the last barrier) to
+    // every worker.
+    epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (parked.load(std::memory_order_seq_cst) > 0)
+        epoch.notify_all();
+
+    // The dispatching thread is worker 0.
+    try {
+        if (testHook)
+            testHook(0);
+        fn(0);
+    } catch (...) {
+        errors[0] = std::current_exception();
+    }
+
+    // Barrier: workers publish their writes with the release
+    // decrement; the acquire load makes them visible to the serial
+    // commit phase that follows. The caller never parks — phases are
+    // sub-microsecond, so yield is the worst case it needs.
+    const unsigned spin = spinBudget();
+    unsigned spins = 0;
+    while (remaining.load(std::memory_order_acquire) != 0) {
+        if (++spins < spin)
+            cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+
+    for (std::exception_ptr &err : errors) {
+        if (err) {
+            // Lowest worker index wins; with index-ordered sharding
+            // that reproduces the error a serial loop hits first.
+            std::exception_ptr e = std::exchange(err, nullptr);
+            for (std::exception_ptr &rest : errors)
+                rest = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+TickPool::workerLoop(unsigned t)
+{
+    const unsigned spin = spinBudget();
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t e;
+        unsigned spins = 0;
+        while ((e = epoch.load(std::memory_order_acquire)) == seen) {
+            ++spins;
+            if (spins < spin) {
+                cpuRelax();
+            } else if (spins < spin + yieldBudget) {
+                std::this_thread::yield();
+            } else {
+                // Park. The parked counter tells the dispatcher a
+                // notify is needed; the re-check between registering
+                // and waiting closes the lost-wakeup window (both
+                // sides seq_cst).
+                parked.fetch_add(1, std::memory_order_seq_cst);
+                if (epoch.load(std::memory_order_seq_cst) == seen)
+                    epoch.wait(seen, std::memory_order_seq_cst);
+                parked.fetch_sub(1, std::memory_order_relaxed);
+                spins = spin;  // yield again before re-parking
+            }
+        }
+        seen = e;
+        if (stopping.load(std::memory_order_relaxed))
+            return;
+        try {
+            if (testHook)
+                testHook(t);
+            (*job)(t);
+        } catch (...) {
+            errors[t] = std::current_exception();
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+} // namespace wsl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Persistent worker pool for intra-run tick parallelism. Unlike
+ * parallelFor() — which spawns a jthread per call and is sized for
+ * whole-simulation jobs — a TickPool is built once per Gpu and
+ * dispatches a phase to all workers with a single epoch-counter store,
+ * because its tasks are individual SmCore::tick() calls on the order
+ * of 100 ns. Workers spin briefly on the epoch, escalate to yield,
+ * and finally park on an atomic wait; the dispatching thread runs
+ * worker 0's share itself so `threads() == 1` degenerates to a plain
+ * call with no synchronization at all.
+ *
+ * Determinism contract: run(fn) executes fn(0..threads-1) exactly once
+ * per worker and returns only after every worker finished, so callers
+ * may merge per-worker results in any fixed order they choose. When
+ * several workers throw, the exception of the lowest worker index is
+ * rethrown — with contiguous index-ordered sharding that is the same
+ * error a serial loop would have hit first.
+ */
+
+#ifndef WSL_HARNESS_TICK_POOL_HH
+#define WSL_HARNESS_TICK_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace wsl {
+
+/** Contiguous [begin, end) slice of `n` items owned by worker `t` of
+ *  `threads`: index order is preserved across workers, which is what
+ *  lets merged output reproduce the serial iteration order. */
+inline std::pair<std::size_t, std::size_t>
+shardRange(std::size_t n, unsigned t, unsigned threads)
+{
+    const std::size_t begin = n * t / threads;
+    const std::size_t end = n * (t + 1) / threads;
+    return {begin, end};
+}
+
+class TickPool
+{
+  public:
+    /** Build `threads - 1` workers (the caller is worker 0). */
+    explicit TickPool(unsigned threads);
+    ~TickPool();
+
+    TickPool(const TickPool &) = delete;
+    TickPool &operator=(const TickPool &) = delete;
+
+    unsigned threads() const { return total; }
+
+    /**
+     * Run fn(0) ... fn(threads-1) concurrently and wait for all of
+     * them. The callable must outlive the call (it is invoked by
+     * reference); per-worker exceptions are captured and the lowest
+     * worker index's is rethrown here after the barrier.
+     */
+    void run(const std::function<void(unsigned)> &fn);
+
+    /**
+     * Test hook: invoked as hook(worker) by every worker immediately
+     * before its share of each run(). Lets tests force out-of-order
+     * completion (e.g. sleep inversely to the worker index) to prove
+     * the ordered merge does not depend on finish order. Only call
+     * while no run() is in flight.
+     */
+    void setWorkerDelayForTest(std::function<void(unsigned)> hook)
+    {
+        testHook = std::move(hook);
+    }
+
+  private:
+    void workerLoop(unsigned t);
+    void await(std::uint64_t target);
+
+    const unsigned total;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<unsigned> remaining{0};
+    std::atomic<unsigned> parked{0};
+    std::atomic<bool> stopping{false};
+    const std::function<void(unsigned)> *job = nullptr;
+    std::vector<std::exception_ptr> errors;
+    std::function<void(unsigned)> testHook;
+    std::vector<std::jthread> workers;
+};
+
+} // namespace wsl
+
+#endif // WSL_HARNESS_TICK_POOL_HH

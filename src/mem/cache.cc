@@ -53,7 +53,14 @@ Cache::read(Addr line, std::uint64_t token)
     }
     if (mshrs.size() >= params.numMshrs)
         return ReadResult::Blocked;
-    mshrs.emplace(line, std::vector<std::uint64_t>{token});
+    std::vector<std::uint64_t> waiters;
+    if (!tokenPool.empty()) {
+        waiters = std::move(tokenPool.back());
+        tokenPool.pop_back();
+        waiters.clear();
+    }
+    waiters.push_back(token);
+    mshrs.emplace(line, std::move(waiters));
     return ReadResult::MissNew;
 }
 
@@ -77,17 +84,25 @@ Cache::probe(Addr line) const
     return findLine(line) != nullptr;
 }
 
-Cache::FillResult
-Cache::fill(Addr line)
+void
+Cache::fill(Addr line, FillResult &out)
 {
-    FillResult result;
+    FillResult &result = out;
+    result.tokens.clear();
+    result.evictedDirty = false;
+    result.evictedLine = 0;
     auto it = mshrs.find(line);
     if (it != mshrs.end()) {
-        result.tokens = std::move(it->second);
+        // Swap, don't move: the waiters land in `out` and the scratch
+        // buffer's old capacity rides back into the pool for the next
+        // miss, so the waiter vectors just circulate.
+        result.tokens.swap(it->second);
+        if (tokenPool.size() < params.numMshrs)
+            tokenPool.push_back(std::move(it->second));
         mshrs.erase(it);
     }
     if (findLine(line))
-        return result;  // already present (e.g., refetched line)
+        return;  // already present (e.g., refetched line)
 
     Line *base = &lines[setOf(line) * params.assoc];
     Line *victim = nullptr;
@@ -107,7 +122,6 @@ Cache::fill(Addr line)
     victim->valid = true;
     victim->dirty = false;
     victim->lastUse = ++useClock;
-    return result;
 }
 
 bool
@@ -139,6 +153,7 @@ Cache::reset()
     for (auto &l : lines)
         l = Line{};
     mshrs.clear();
+    tokenPool.clear();
     useClock = 0;
 }
 

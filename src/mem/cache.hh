@@ -75,8 +75,22 @@ class Cache
      * Install a line returned by the next level, waking its MSHR
      * waiters. Safe to call for a line with no MSHR entry (prefetch-like
      * fill); tokens will be empty.
+     *
+     * The result lands in caller-owned scratch (`out` is fully
+     * overwritten) and the retired MSHR's token buffer is recycled
+     * internally, so steady-state fills allocate nothing — this runs
+     * once per L1/L2 miss on the tick hot path.
      */
-    FillResult fill(Addr line);
+    void fill(Addr line, FillResult &out);
+
+    /** Convenience wrapper (tests, cold paths): fresh-vector fill. */
+    FillResult
+    fill(Addr line)
+    {
+        FillResult result;
+        fill(line, result);
+        return result;
+    }
 
     /** True if `count` new MSHR allocations would succeed right now. */
     bool mshrAvailable(unsigned count = 1) const;
@@ -119,6 +133,10 @@ class Cache
     std::uint64_t useClock = 0;
     /** line address -> tokens waiting on the in-flight fetch. */
     std::unordered_map<Addr, std::vector<std::uint64_t>> mshrs;
+    /** Retired MSHR token buffers, kept for reuse by the next miss
+     *  (fill() and read() cycle buffers through here instead of the
+     *  allocator). Bounded by numMshrs live entries by construction. */
+    std::vector<std::vector<std::uint64_t>> tokenPool;
 };
 
 } // namespace wsl

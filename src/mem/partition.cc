@@ -32,13 +32,14 @@ MemPartition::tick(Cycle now)
     dramDone.clear();
     dram.tick(now, dramDone);
     for (const auto &done : dramDone) {
-        Cache::FillResult fill = l2.fill(done.line);
-        if (fill.evictedDirty)
-            dram.push({fill.evictedLine, true, now});
-        for (std::uint64_t token : fill.tokens) {
+        l2.fill(done.line, fillScratch);
+        if (fillScratch.evictedDirty)
+            dram.push({fillScratch.evictedLine, true, now});
+        for (std::uint64_t token : fillScratch.tokens) {
             outResponses.push_back(
                 {done.line, static_cast<SmId>(token),
                  now + cfg.icntLatency});
+            ++pushedResponses;
         }
     }
 
@@ -72,6 +73,7 @@ MemPartition::tick(Cycle now)
                 outResponses.push_back(
                     {req.line, req.sm,
                      now + cfg.l2HitLatency + cfg.icntLatency});
+                ++pushedResponses;
                 break;
               case Cache::ReadResult::MissNew:
                 dram.push({req.line, false, now + cfg.l2HitLatency});
@@ -131,10 +133,12 @@ MemPartition::reset()
 {
     l2.reset();
     reqQueue.clear();
-    outResponses.clear();
     // Dropped queue entries retire nothing; realign the conservation
     // counters so the auditor's accepted == serviced + queued check
-    // stays true across experiment-phase resets.
+    // stays true across experiment-phase resets. Staged responses are
+    // dropped undelivered, so un-count them the same way.
+    pushedResponses -= outResponses.size();
+    outResponses.clear();
     servicedRequests = acceptedRequests;
 }
 

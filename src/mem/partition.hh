@@ -97,8 +97,14 @@ class MemPartition
      *  accepted == serviced + reqQueue.size() at every tick boundary. */
     std::uint64_t acceptedRequests = 0;
     std::uint64_t servicedRequests = 0;
+    /** Responses ever staged into outResponses; the auditor checks the
+     *  sum over partitions against the interconnect stage's delivered
+     *  count plus the still-staged responses (response conservation
+     *  across the parallel-tick merge). */
+    std::uint64_t pushedResponses = 0;
     std::vector<MemResponse> outResponses;
     std::vector<DramCompletion> dramDone;  //!< scratch, reused per tick
+    Cache::FillResult fillScratch;         //!< scratch, reused per fill
     PartitionStats l2Stats;
     bool recordTelemetry = false;
     Histogram mshrHist;

@@ -97,6 +97,13 @@ SmCore::SmCore(const GpuConfig &c, SmId id)
     aluBusyUntil.assign(cfg.numSchedulers, 0);
     scanCache.resize(cfg.numSchedulers);
     quotas.fill(-1);
+    // Staging/bookkeeping buffers grow once here, not on the tick hot
+    // path: outRequests is bounded by the L1 miss queue, respQueue by
+    // the L1 MSHR count (one fill per in-flight line), and the CTA
+    // completion list by the CTA slots.
+    outRequests.reserve(cfg.l1MissQueue);
+    respQueue.reserve(cfg.l1Mshrs);
+    ctaCompletions.reserve(cfg.maxCtasPerSm);
 }
 
 bool
@@ -142,9 +149,7 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
         const std::uint16_t widx = freeWarpSlots.back();
         freeWarpSlots.pop_back();
         WarpState &w = warps[widx];
-        const std::uint32_t epoch = w.epoch;
-        w = WarpState{};
-        w.epoch = epoch;
+        w.reset();  // keeps epoch and the divStack buffer
         w.active = true;
         w.ctaSlot = slot;
         w.kernel = kid;
@@ -996,8 +1001,8 @@ SmCore::tick(Cycle now)
     // Line fills arriving from the memory partitions.
     for (std::size_t i = 0; i < respQueue.size();) {
         if (respQueue[i].readyAt <= now) {
-            Cache::FillResult fill = l1.fill(respQueue[i].line);
-            for (std::uint64_t token : fill.tokens)
+            l1.fill(respQueue[i].line, fillScratch);
+            for (std::uint64_t token : fillScratch.tokens)
                 completeLoadTransaction(
                     static_cast<std::uint16_t>(token), now);
             // Even a fill whose loads are still partial frees an MSHR,

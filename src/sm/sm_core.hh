@@ -338,6 +338,7 @@ class SmCore
     unsigned activeLoads = 0;  //!< valid PendingLoad entries
     std::vector<MemRequest> outRequests;
     std::vector<MemResponse> respQueue;
+    Cache::FillResult fillScratch;  //!< scratch, reused per L1 fill
 
     // Front end: warps whose i-buffer drained and need a refill.
     RingQueue<FetchEntry> fetchQueue;

@@ -62,6 +62,39 @@ struct WarpState
     {
         return active && !finished && !atBarrier && ibuf > 0;
     }
+
+    /**
+     * Recycle the slot for a new warp: every field back to its
+     * default, except `epoch` (it must keep counting up so in-flight
+     * writebacks from the slot's previous occupant stay dead) and the
+     * divStack heap buffer (clear() keeps capacity, so steady-state
+     * CTA launch allocates nothing — `w = WarpState{}` would free and
+     * re-grow it every time, allocator churn the thread-sharded tick
+     * engine turns into contention). Any field added above must be
+     * restored here too.
+     */
+    void
+    reset()
+    {
+        active = false;
+        finished = false;
+        ctaSlot = -1;
+        kernel = invalidKernel;
+        warpInCta = 0;
+        activeThreads = warpSize;
+        program = nullptr;
+        pc = 0;
+        iter = 0;
+        ibuf = 0;
+        fetchPending = false;
+        fetchReadyAt = 0;
+        atBarrier = false;
+        activeMask = 0xffffffffu;
+        divStack.clear();
+        pendingShort = 0;
+        pendingLong = 0;
+        age = 0;
+    }
 };
 
 /** State of one CTA slot in an SM. */

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the deterministic intra-run parallel tick engine: TickPool
+ * mechanics (sharding, dispatch, exception propagation), the ordered
+ * interconnect merge, composition of tick threads with batch jobs, and
+ * the headline determinism property — a micro-window co-run must be
+ * bit-identical to the serial reference engine even when the pool's
+ * test hook forces workers to finish out of order. Also covers the
+ * addressing edge cases the merge relies on (lineAddr / partitionOf at
+ * the top of the address space, non-power-of-two partition counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "check/access.hh"
+#include "common/config.hh"
+#include "core/policies.hh"
+#include "expect_throw.hh"
+#include "gpu/gpu.hh"
+#include "gpu/staging.hh"
+#include "harness/parallel.hh"
+#include "harness/tick_pool.hh"
+#include "mem/partition.hh"
+#include "mem/request.hh"
+#include "sm/sm_core.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+/** Exact counter-level equality via the canonical field lists. */
+void
+expectStatsEqual(const GpuStats &a, const GpuStats &b)
+{
+    SmStats::forEachField([&](const char *name, auto member) {
+        EXPECT_EQ(a.*member, b.*member) << "SmStats field " << name;
+    });
+    PartitionStats::forEachField([&](const char *name, auto member) {
+        EXPECT_EQ(a.*member, b.*member)
+            << "PartitionStats field " << name;
+    });
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// shardRange
+// ---------------------------------------------------------------------
+
+TEST(ShardRange, PartitionsIndexSpaceInOrder)
+{
+    for (std::size_t n : {0u, 1u, 5u, 16u, 17u, 1000u}) {
+        for (unsigned threads : {1u, 2u, 3u, 4u, 7u, 16u}) {
+            std::size_t expect_begin = 0;
+            for (unsigned t = 0; t < threads; ++t) {
+                auto [begin, end] = shardRange(n, t, threads);
+                EXPECT_EQ(begin, expect_begin)
+                    << "gap/overlap at n=" << n << " t=" << t;
+                EXPECT_LE(begin, end);
+                expect_begin = end;
+            }
+            EXPECT_EQ(expect_begin, n)
+                << "shards must cover all of [0, n)";
+        }
+    }
+}
+
+TEST(ShardRange, BalancedWithinOne)
+{
+    const std::size_t n = 16;
+    const unsigned threads = 5;
+    for (unsigned t = 0; t < threads; ++t) {
+        auto [begin, end] = shardRange(n, t, threads);
+        const std::size_t len = end - begin;
+        EXPECT_GE(len, n / threads);
+        EXPECT_LE(len, n / threads + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TickPool
+// ---------------------------------------------------------------------
+
+TEST(TickPool, RunsEveryWorkerExactlyOncePerDispatch)
+{
+    TickPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    const std::function<void(unsigned)> fn = [&](unsigned t) {
+        hits[t].fetch_add(1, std::memory_order_relaxed);
+    };
+    constexpr int rounds = 200;
+    for (int i = 0; i < rounds; ++i)
+        pool.run(fn);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(hits[t].load(), rounds) << "worker " << t;
+}
+
+TEST(TickPool, SingleThreadDegeneratesToPlainCall)
+{
+    TickPool pool(1);
+    unsigned calls = 0;
+    pool.run([&](unsigned t) {
+        EXPECT_EQ(t, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(TickPool, LowestWorkerIndexExceptionWins)
+{
+    TickPool pool(4);
+    // Workers 1 and 3 both throw; the serial loop would have hit
+    // worker 1's shard first, so that is the error run() must rethrow.
+    WSL_EXPECT_THROW_MSG(
+        pool.run([](unsigned t) {
+            if (t == 1)
+                throw std::runtime_error("boom from worker 1");
+            if (t == 3)
+                throw std::runtime_error("boom from worker 3");
+        }),
+        std::runtime_error, "worker 1");
+    // The pool stays usable after an exceptional round.
+    std::atomic<unsigned> ok{0};
+    pool.run([&](unsigned) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// composeTickThreads
+// ---------------------------------------------------------------------
+
+TEST(ComposeTickThreads, SerialTickEngineIsUntouched)
+{
+    EXPECT_EQ(composeTickThreads(1, 1), 1u);
+    EXPECT_EQ(composeTickThreads(8, 1), 1u);
+    EXPECT_EQ(composeTickThreads(0, 0), 1u);
+}
+
+TEST(ComposeTickThreads, SingleJobKeepsFullTickCount)
+{
+    // jobs <= 1 means no outer parallelism: the run gets its tick
+    // threads un-clamped regardless of the host's core count.
+    EXPECT_EQ(composeTickThreads(1, 4), 4u);
+    EXPECT_EQ(composeTickThreads(0, 8), 8u);
+}
+
+TEST(ComposeTickThreads, ComposedCountNeverOversubscribes)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (unsigned jobs : {2u, 4u, 8u, 64u}) {
+        for (unsigned tick : {2u, 4u, 8u}) {
+            const unsigned got = composeTickThreads(jobs, tick);
+            EXPECT_GE(got, 1u);
+            EXPECT_LE(got, tick);
+            if (hw > 0) {
+                // jobs x tickThreads stays within the machine (each
+                // factor alone may already saturate it).
+                EXPECT_LE(static_cast<std::uint64_t>(got) * jobs,
+                          static_cast<std::uint64_t>(
+                              std::max(hw, jobs)));
+                if (jobs >= hw) {
+                    EXPECT_EQ(got, 1u);
+                }
+            } else {
+                EXPECT_EQ(got, 1u);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// InterconnectStage ordered merge
+// ---------------------------------------------------------------------
+
+namespace {
+
+Addr
+lineForPartition(unsigned part, unsigned nparts, unsigned k)
+{
+    return static_cast<Addr>(part + k * nparts) * lineSize;
+}
+
+} // namespace
+
+TEST(InterconnectStage, MergesInSmIndexOrder)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numSms = 3;
+    cfg.numMemPartitions = 2;
+    std::vector<std::unique_ptr<SmCore>> sm_store;
+    std::vector<std::unique_ptr<MemPartition>> part_store;
+    std::vector<SmCore *> sms;
+    std::vector<MemPartition *> parts;
+    for (unsigned i = 0; i < cfg.numSms; ++i) {
+        sm_store.push_back(std::make_unique<SmCore>(cfg, i));
+        sms.push_back(sm_store.back().get());
+    }
+    for (unsigned i = 0; i < cfg.numMemPartitions; ++i) {
+        part_store.push_back(std::make_unique<MemPartition>(cfg, i));
+        parts.push_back(part_store.back().get());
+    }
+
+    // Every SM stages two requests for partition 0 (staged in
+    // arbitrary per-SM order by the compute phase; here by hand).
+    for (unsigned i = 0; i < cfg.numSms; ++i) {
+        auto &out = sms[i]->outgoingRequests();
+        out.push_back({lineForPartition(0, 2, 2 * i),
+                       false, static_cast<SmId>(i), 10});
+        out.push_back({lineForPartition(0, 2, 2 * i + 1),
+                       false, static_cast<SmId>(i), 10});
+    }
+
+    InterconnectStage stage;
+    stage.mergeRequests(sms, parts);
+    EXPECT_EQ(stage.routedRequests(), 6u);
+    for (unsigned i = 0; i < cfg.numSms; ++i)
+        EXPECT_TRUE(sms[i]->outgoingRequests().empty());
+
+    // Partition 0's input queue must hold SM 0's requests first, then
+    // SM 1's, then SM 2's — exactly the serial iteration order.
+    std::vector<SmId> got;
+    for (const MemRequest &req : AuditAccess::reqQueue(*parts[0]))
+        got.push_back(req.sm);
+    const std::vector<SmId> want = {0, 0, 1, 1, 2, 2};
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(AuditAccess::reqQueueDepth(*parts[1]), 0u);
+}
+
+TEST(InterconnectStage, BackpressureKeepsRefusedRequestsInOrder)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numSms = 2;
+    cfg.numMemPartitions = 1;
+    SmCore sm0(cfg, 0), sm1(cfg, 1);
+    MemPartition part(cfg, 0);
+    std::vector<SmCore *> sms = {&sm0, &sm1};
+    std::vector<MemPartition *> parts = {&part};
+
+    // Fill the partition queue to one slot short of its 64-entry
+    // backpressure limit, then stage 3 more requests: only the first
+    // (SM 0's oldest) fits; the refused two must stay staged in order.
+    while (AuditAccess::reqQueueDepth(part) < 63)
+        part.pushRequest({0, false, 0, 0});
+    sm0.outgoingRequests().push_back({1 * lineSize, false, 0, 5});
+    sm0.outgoingRequests().push_back({2 * lineSize, false, 0, 5});
+    sm1.outgoingRequests().push_back({3 * lineSize, false, 1, 5});
+
+    InterconnectStage stage;
+    stage.mergeRequests(sms, parts);
+    EXPECT_EQ(AuditAccess::reqQueueDepth(part), 64u);
+    ASSERT_EQ(sm0.outgoingRequests().size(), 1u);
+    EXPECT_EQ(sm0.outgoingRequests()[0].line, 2 * lineSize);
+    ASSERT_EQ(sm1.outgoingRequests().size(), 1u);
+    EXPECT_EQ(sm1.outgoingRequests()[0].line, 3 * lineSize);
+    EXPECT_EQ(stage.routedRequests(), 1u);
+
+    // Draining the partition lets the retry succeed, oldest first.
+    part.reset();
+    stage.mergeRequests(sms, parts);
+    EXPECT_EQ(stage.routedRequests(), 3u);
+    EXPECT_TRUE(sm0.outgoingRequests().empty());
+    EXPECT_TRUE(sm1.outgoingRequests().empty());
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity under forced out-of-order worker completion
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct MicroRun
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    GpuStats stats;
+    std::uint64_t routed = 0;
+    std::uint64_t delivered = 0;
+};
+
+/** Run `bench` alone for `window` cycles at `tick_threads`, optionally
+ *  installing a worker delay inverse to the worker index so higher
+ *  workers finish first (the worst case for a naive merge). */
+MicroRun
+microWindow(const char *bench, Cycle window, unsigned tick_threads,
+            bool scramble)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.tickThreads = tick_threads;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    if (scramble) {
+        TickPool *pool = gpu.tickPool();
+        if (pool) {
+            const unsigned threads = pool->threads();
+            pool->setWorkerDelayForTest([threads](unsigned t) {
+                // Worker 0 (the caller, lowest shard) sleeps longest:
+                // completions arrive in reverse index order.
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    (threads - 1 - t) * 50));
+            });
+        }
+    }
+    const KernelId kid = gpu.launchKernel(benchmark(bench));
+    gpu.run(window);
+    MicroRun out;
+    out.cycles = gpu.cycle();
+    out.insts = gpu.kernelThreadInsts(kid);
+    out.stats = gpu.collectStats();
+    out.routed = gpu.interconnect().routedRequests();
+    out.delivered = gpu.interconnect().deliveredResponses();
+    return out;
+}
+
+void
+expectMicroRunsEqual(const MicroRun &serial, const MicroRun &parallel)
+{
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.insts, parallel.insts);
+    expectStatsEqual(serial.stats, parallel.stats);
+}
+
+} // namespace
+
+TEST(TickEngineDeterminism, MmMicroWindowMatchesSerialReference)
+{
+    const Cycle window = 3000;
+    const MicroRun serial = microWindow("MM", window, 1, false);
+    const MicroRun parallel = microWindow("MM", window, 4, true);
+    expectMicroRunsEqual(serial, parallel);
+    // A scrambled parallel run routes the same traffic through the
+    // ordered stage that the serial engine pushed directly.
+    EXPECT_GT(parallel.routed, 0u);
+    EXPECT_EQ(parallel.routed, serial.routed);
+    EXPECT_EQ(parallel.delivered, serial.delivered);
+}
+
+TEST(TickEngineDeterminism, LbmMicroWindowMatchesSerialReference)
+{
+    const Cycle window = 3000;
+    const MicroRun serial = microWindow("LBM", window, 1, false);
+    const MicroRun parallel = microWindow("LBM", window, 4, true);
+    expectMicroRunsEqual(serial, parallel);
+    EXPECT_GT(parallel.routed, 0u);
+    EXPECT_EQ(parallel.routed, serial.routed);
+    EXPECT_EQ(parallel.delivered, serial.delivered);
+}
+
+TEST(TickEngineDeterminism, StagingConservationHoldsAfterRun)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.tickThreads = 3;  // deliberately not a divisor of 16 SMs
+    cfg.auditCadence = 1; // audit (incl. staging check) every cycle
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark("LBM"));
+    gpu.run(4000);
+    ASSERT_NE(gpu.integrityAuditor(), nullptr);
+    std::uint64_t accepted = 0, pushed = 0, staged = 0;
+    for (unsigned i = 0; i < gpu.numPartitions(); ++i) {
+        accepted += AuditAccess::accepted(gpu.partition(i));
+        pushed += AuditAccess::pushedResponses(gpu.partition(i));
+        staged += AuditAccess::responseCount(gpu.partition(i));
+    }
+    EXPECT_EQ(gpu.interconnect().routedRequests(), accepted);
+    EXPECT_EQ(pushed, gpu.interconnect().deliveredResponses() + staged);
+}
+
+// ---------------------------------------------------------------------
+// Addressing edge cases the merge depends on
+// ---------------------------------------------------------------------
+
+TEST(Addressing, LineAddrAtTopOfAddressSpace)
+{
+    constexpr Addr max = std::numeric_limits<Addr>::max();
+    const Addr top_line = lineAddr(max);
+    EXPECT_EQ(top_line, max - (lineSize - 1));
+    EXPECT_EQ(top_line % lineSize, 0u);
+    EXPECT_EQ(lineAddr(top_line), top_line);
+    // Every byte of the top line maps to the same line address — no
+    // wraparound past the end of the address space.
+    EXPECT_EQ(lineAddr(max - 1), top_line);
+    EXPECT_EQ(lineAddr(top_line + lineSize / 2), top_line);
+}
+
+TEST(Addressing, PartitionOfAtTopOfAddressSpace)
+{
+    constexpr Addr max = std::numeric_limits<Addr>::max();
+    const Addr top_line = lineAddr(max);
+    for (unsigned nparts : {1u, 2u, 5u, 6u, 7u, 1024u}) {
+        const unsigned home = partitionOf(top_line, nparts);
+        EXPECT_LT(home, nparts);
+        // The modulo interleave must agree with its definition even
+        // where line/lineSize is near 2^57.
+        EXPECT_EQ(home, static_cast<unsigned>(
+                            (top_line / lineSize) % nparts));
+        // Bytes within one line share a home partition.
+        EXPECT_EQ(partitionOf(lineAddr(max - 1), nparts), home);
+    }
+}
+
+TEST(Addressing, ConsecutiveLinesInterleaveForNonPow2Counts)
+{
+    // 6 partitions (the paper's baseline) is not a power of two; the
+    // interleave must still cycle through every partition.
+    const unsigned nparts = 6;
+    for (unsigned k = 0; k < 2 * nparts; ++k) {
+        EXPECT_EQ(partitionOf(static_cast<Addr>(k) * lineSize, nparts),
+                  k % nparts);
+    }
+}
+
+TEST(ConfigValidate, NonPow2ComponentCountsAreValid)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    EXPECT_EQ(cfg.numMemPartitions, 6u);  // paper baseline, non-pow2
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.numMemPartitions = 7;
+    cfg.numSms = 13;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, RejectsOutOfRangeComponentCounts)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.numMemPartitions = 1025;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError,
+                         "numMemPartitions");
+    cfg = GpuConfig::baseline();
+    cfg.numSms = 1025;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "numSms");
+}
+
+TEST(ConfigValidate, RejectsZeroTickThreads)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.tickThreads = 0;
+    WSL_EXPECT_THROW_MSG(cfg.validate(), ConfigError, "tickThreads");
+}

@@ -70,6 +70,9 @@ struct Options
     std::string timelinePath;
     Cycle statsInterval = 0;  //!< 0 = telemetry off
     unsigned jobs = defaultJobs();  //!< worker threads (WSL_JOBS)
+    /** Intra-run tick threads (WSL_TICK_THREADS); composed against
+     *  --jobs by the batch paths so the two never oversubscribe. */
+    unsigned tickThreads = defaultTickThreads();
 };
 
 [[noreturn]] void
@@ -83,6 +86,8 @@ usage(const char *argv0)
                  "fixed:Q1,Q2[,Q3]\n"
                  "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
                  "         --stats-interval N --timeline FILE --jobs N\n"
+                 "         --tick-threads N (shard each run's SM/partition "
+                 "ticks over N threads; bit-identical)\n"
                  "         --no-skip (disable event-horizon clock "
                  "skipping; bit-identical, slower)\n"
                  "         --audit[=N] (run integrity audits every N "
@@ -142,6 +147,9 @@ parseArgs(int argc, char **argv)
                 std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--jobs")
             opt.jobs = parseJobs(next().c_str(), "--jobs");
+        else if (arg == "--tick-threads")
+            opt.tickThreads =
+                parseJobs(next().c_str(), "--tick-threads");
         else if (arg == "--csv")
             opt.csvPath = next();
         else if (arg == "--json")
@@ -163,6 +171,7 @@ makeConfig(const Options &opt)
     cfg.clockSkip = !opt.noSkip;
     cfg.auditCadence = opt.auditCadence;
     cfg.watchdogCycles = opt.watchdogCycles;
+    cfg.tickThreads = opt.tickThreads;
     // Fail here with an actionable message, not deep in construction.
     cfg.validate();
     return cfg;
