@@ -17,6 +17,7 @@
  * tracking artifact, not a correctness gate.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include "gpu/gpu.hh"
 #include "mem/dram.hh"
 #include "mem/partition.hh"
+#include "obs/engine_profiler.hh"
 #include "workloads/benchmarks.hh"
 
 using namespace wsl;
@@ -67,6 +69,66 @@ runWorkload(const char *bench, Cycle window, bool skip, unsigned sms,
     const auto t0 = std::chrono::steady_clock::now();
     gpu.run(window);
     return {gpu.cycle(), seconds(t0)};
+}
+
+/**
+ * One epoch's wall time split three ways by the engine profiler:
+ * parallel compute (SM + partition phases minus the pool barrier
+ * wait), serial commit (the two ordered interconnect merges), and
+ * wait (worker-0 spinning/yielding at the epoch barrier). This is the
+ * decomposition the tick-thread scaling rows above cannot give —
+ * "4 threads are slower" becomes "because commit/wait dominates".
+ */
+struct PhaseCost
+{
+    double computeNsPerCycle = 0;
+    double commitNsPerCycle = 0;
+    double waitNsPerCycle = 0;
+    Cycle cycles = 0;
+
+    const char *
+    dominant() const
+    {
+        if (computeNsPerCycle >= commitNsPerCycle &&
+            computeNsPerCycle >= waitNsPerCycle)
+            return "compute";
+        return commitNsPerCycle >= waitNsPerCycle ? "commit" : "wait";
+    }
+};
+
+PhaseCost
+runWorkloadProfiled(const char *bench, Cycle window, unsigned sms,
+                    unsigned parts, unsigned tick_threads)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.clockSkip = false;
+    cfg.numSms = sms;
+    cfg.numMemPartitions = parts;
+    cfg.tickThreads = tick_threads;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark(bench));
+    EngineProfiler prof;
+    gpu.attachEngineProfiler(&prof);
+    gpu.run(window);
+    prof.harvest(gpu);
+
+    PhaseCost cost;
+    cost.cycles = gpu.cycle();
+    const double cycles = static_cast<double>(
+        cost.cycles ? cost.cycles : 1);
+    const double pooled =
+        static_cast<double>(prof.phaseNs(EpochPhase::SmCompute) +
+                            prof.phaseNs(EpochPhase::PartitionCompute));
+    const double wait =
+        static_cast<double>(prof.poolBarrierWaitNs());
+    cost.computeNsPerCycle = std::max(0.0, pooled - wait) / cycles;
+    cost.commitNsPerCycle =
+        static_cast<double>(
+            prof.phaseNs(EpochPhase::IcntMergeRequests) +
+            prof.phaseNs(EpochPhase::IcntDeliver)) /
+        cycles;
+    cost.waitNsPerCycle = wait / cycles;
+    return cost;
 }
 
 /** Per-tick cost of a kernel-free GPU (pipeline bookkeeping floor). */
@@ -201,6 +263,27 @@ main(int argc, char **argv)
                     tick_rate[i][1] / 1e6, tick_rate[i][2] / 1e6);
     }
 
+    // Where does the pooled epoch's time actually go? Profile the same
+    // workloads at 4 tick threads and split each simulated cycle into
+    // parallel compute, serial commit, and barrier wait — the answer
+    // to whether the epoch-sync cost lives in the work, the ordered
+    // interconnect merge, or the wakeup/wait machinery.
+    constexpr unsigned profile_threads = 4;
+    PhaseCost phases[2];
+    std::printf("epoch phase split (%u tick threads, profiled):\n",
+                profile_threads);
+    for (std::size_t i = 0; i < 2; ++i) {
+        phases[i] =
+            runWorkloadProfiled(rows[i].bench, window, base.numSms,
+                                base.numMemPartitions, profile_threads);
+        std::printf("  %s (%s): compute %7.1f ns/cyc, commit %7.1f "
+                    "ns/cyc, wait %7.1f ns/cyc -> %s-dominated\n",
+                    rows[i].label, rows[i].bench,
+                    phases[i].computeNsPerCycle,
+                    phases[i].commitNsPerCycle,
+                    phases[i].waitNsPerCycle, phases[i].dominant());
+    }
+
     std::ofstream os(out_path);
     if (!os) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -233,6 +316,21 @@ main(int argc, char **argv)
            << "        \"2\": " << tick_rate[i][1] << ",\n"
            << "        \"4\": " << tick_rate[i][2] << "\n"
            << "      }\n"
+           << "    }" << (i == 0 ? "," : "") << "\n";
+    }
+    os << "  },\n"
+       << "  \"epoch_phase\": {\n"
+       << "    \"tick_threads\": " << profile_threads << ",\n";
+    for (std::size_t i = 0; i < 2; ++i) {
+        os << "    \"" << rows[i].label << "\": {\n"
+           << "      \"compute_ns_per_cycle\": "
+           << phases[i].computeNsPerCycle << ",\n"
+           << "      \"commit_ns_per_cycle\": "
+           << phases[i].commitNsPerCycle << ",\n"
+           << "      \"wait_ns_per_cycle\": "
+           << phases[i].waitNsPerCycle << ",\n"
+           << "      \"dominant\": \"" << phases[i].dominant()
+           << "\"\n"
            << "    }" << (i == 0 ? "," : "") << "\n";
     }
     os << "  }\n}\n";

@@ -3,10 +3,14 @@
  * Wall-clock benchmark and correctness gate for the experiment engine:
  * runs the full 30-pair x 4-policy evaluation matrix eight ways —
  * {serial, `--jobs` worker threads} x {event-horizon clock skipping
- * on, off} x {tick-threads 1, `--tick-threads` N} — verifies all
- * eight result sets are bit-identical, and reports the speedups. This
- * is the gate that lets clock skipping, batch parallelism, and the
- * intra-run parallel tick engine all claim "pure performance toggle".
+ * on, off} x {tick-threads 1, `--tick-threads` N} — plus a ninth
+ * pass with the full observability layer attached (engine profiler on
+ * every job, decision log on the Dynamic jobs, registry exporters
+ * exercised afterwards), verifies all nine result sets are
+ * bit-identical, and reports the speedups. This is the gate that lets
+ * clock skipping, batch parallelism, the intra-run parallel tick
+ * engine, and the observability layer all claim "pure performance
+ * toggle" / "pure observer".
  *
  * Usage: bench_sweep [--quick] [--jobs N] [--tick-threads N] [--out FILE]
  *   --quick   evaluate only the first 6 pairs (CI-sized)
@@ -25,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +37,9 @@
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "harness/solo_cache.hh"
+#include "obs/decision_log.hh"
+#include "obs/engine_profiler.hh"
+#include "obs/registry.hh"
 
 using namespace wsl;
 
@@ -179,9 +187,39 @@ main(int argc, char **argv)
     std::printf("both no-skip:      %7.2fs (%u jobs x <=%u tick "
                 "threads)\n", t_par_tick_ref, jobs, tick_threads);
 
-    // All eight passes must agree byte for byte: neither level of
-    // parallelism may perturb results, and event-horizon skipping must
-    // be invisible next to the per-cycle reference loop.
+    // Ninth pass: full observability attached. The profiler and
+    // decision log only observe, so simulated results must still be
+    // bit-identical to the plain serial pass.
+    std::vector<EngineProfiler> profilers(batch.size());
+    std::vector<DecisionLog> decision_logs(batch.size());
+    std::vector<CoRunJob> observed_batch = batch;
+    for (std::size_t i = 0; i < observed_batch.size(); ++i) {
+        observed_batch[i].opts.profiler = &profilers[i];
+        if (observed_batch[i].kind == PolicyKind::Dynamic)
+            observed_batch[i].opts.decisionLog = &decision_logs[i];
+    }
+    std::vector<CoRunResult> observed;
+    const double t_observed =
+        timedRun(chars, observed_batch, 1, observed);
+    std::printf("observed serial:   %7.2fs (1 thread, profiler + "
+                "decision log)\n", t_observed);
+    // Pull-model registry: sampling happens only here, at export.
+    {
+        CounterRegistry registry;
+        registerStatsCounters(registry, observed.empty()
+                                            ? GpuStats{}
+                                            : observed.front().stats);
+        if (!profilers.empty())
+            profilers.front().registerCounters(registry);
+        registerHarnessCounters(registry);
+        std::ostringstream sink;
+        registry.writePrometheus(sink);
+    }
+
+    // All nine passes must agree byte for byte: neither level of
+    // parallelism may perturb results, event-horizon skipping must
+    // be invisible next to the per-cycle reference loop, and the
+    // observability layer must be a pure observer.
     auto same_as_serial = [&](const std::vector<CoRunResult> &other) {
         if (other.size() != serial.size())
             return false;
@@ -196,8 +234,9 @@ main(int argc, char **argv)
     const bool tick_identical =
         same_as_serial(tick) && same_as_serial(tick_ref) &&
         same_as_serial(par_tick) && same_as_serial(par_tick_ref);
-    const bool identical =
-        thread_identical && skip_identical && tick_identical;
+    const bool obs_identical = same_as_serial(observed);
+    const bool identical = thread_identical && skip_identical &&
+                           tick_identical && obs_identical;
     const double speedup = t_parallel > 0 ? t_serial / t_parallel : 0;
     const double skip_speedup =
         t_serial > 0 ? t_serial_ref / t_serial : 0;
@@ -208,6 +247,9 @@ main(int argc, char **argv)
                 skip_identical ? "bit-identical" : "DIVERGED");
     std::printf("tick speedup:    %7.2fx   results %s\n", tick_speedup,
                 tick_identical ? "bit-identical" : "DIVERGED");
+    std::printf("obs overhead:    %7.2fx   results %s\n",
+                t_serial > 0 ? t_observed / t_serial : 0,
+                obs_identical ? "bit-identical" : "DIVERGED");
 
     // Serial co-run throughput in simulated Mcycles/s: to first order
     // window- and pair-count-invariant, so a --quick CI run can be
@@ -242,6 +284,7 @@ main(int argc, char **argv)
            << "  \"parallel_tick_seconds\": " << t_par_tick << ",\n"
            << "  \"parallel_tick_noskip_seconds\": " << t_par_tick_ref
            << ",\n"
+           << "  \"observed_serial_seconds\": " << t_observed << ",\n"
            << "  \"speedup\": " << speedup << ",\n"
            << "  \"clock_skip_speedup\": " << skip_speedup << ",\n"
            << "  \"tick_speedup\": " << tick_speedup << ",\n"

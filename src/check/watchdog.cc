@@ -5,6 +5,7 @@
 #include "check/access.hh"
 #include "gpu/gpu.hh"
 #include "isa/opcode.hh"
+#include "report/table.hh"
 
 namespace wsl {
 
@@ -110,6 +111,26 @@ buildDeadlockReport(const Gpu &gpu, Cycle stalled_for)
            << AuditAccess::dramInFlight(dram) << ", responses "
            << AuditAccess::responseCount(part) << "\n";
     }
+
+    // Last partitioning decision: a stall right after a quota change
+    // usually implicates the change, so make the report self-contained.
+    const std::string decision =
+        gpu.slicingPolicy().describeLastDecision();
+    os << "policy: " << gpu.slicingPolicy().name();
+    if (!decision.empty())
+        os << " — " << decision;
+    os << "\n";
+
+    // Full counter snapshot at the moment of the stall.
+    os << "counters:";
+    unsigned on_line = 0;
+    for (const auto &[name, value] : flattenStats(gpu.collectStats())) {
+        os << (on_line == 0 ? "\n  " : "  ") << name << "="
+           << Table::num(value, value == static_cast<std::uint64_t>(
+                                             value) ? 0 : 3);
+        on_line = (on_line + 1) % 4;
+    }
+    os << "\n";
     return os.str();
 }
 

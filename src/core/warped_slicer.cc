@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <sstream>
+
 #include "common/log.hh"
 #include "core/policies.hh"
+#include "obs/decision_log.hh"
 #include "trace/tracer.hh"
 
 namespace wsl {
@@ -180,6 +183,8 @@ WarpedSlicerPolicy::computeDecision(Gpu &gpu)
 
     std::vector<KernelDemand> demands;
     perfVectors.clear();
+    bwVectors.clear();
+    aluVectors.clear();
     for (std::size_t i = 0; i < live.size(); ++i) {
         const KernelId kid = live[i];
         const std::vector<ProfileSample> &samples = collected[i];
@@ -225,6 +230,8 @@ WarpedSlicerPolicy::computeDecision(Gpu &gpu)
             }
         }
         perfVectors.push_back(demand.perf);
+        bwVectors.push_back(demand.bwCurve);
+        aluVectors.push_back(demand.aluCurve);
         demands.push_back(std::move(demand));
     }
 
@@ -280,6 +287,61 @@ WarpedSlicerPolicy::applyDecision(Gpu &gpu, Cycle now)
     baselineIpc.assign(live.size(), -1.0);
     deviatedWindows = 0;
     windowsSinceDecision = 0;
+
+    if (dlog) {
+        DecisionLogEntry entry;
+        entry.cycle = now;
+        entry.round = rounds;
+        entry.feasible = decision.feasible;
+        entry.spatial = pendingSpatial;
+        entry.minNormPerf = decision.minNormPerf;
+        entry.requiredPerf = opts.lossThresholdScale /
+                             static_cast<double>(live.size());
+        // Whole-GPU predicted IPC: the per-SM curve value times the
+        // SMs the kernel runs on — all of them under an intra-SM
+        // split, its spatial group otherwise.
+        std::vector<unsigned> group_size(live.size(), 0);
+        if (pendingSpatial) {
+            for (unsigned s = 0; s < gpu.numSms(); ++s)
+                for (std::size_t i = 0; i < live.size(); ++i)
+                    if (smOwner[s] == live[i])
+                        ++group_size[i];
+        }
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            DecisionLogEntry::KernelInput input;
+            input.id = live[i];
+            input.name = gpu.kernel(live[i]).params.name;
+            if (i < perfVectors.size())
+                input.perf = perfVectors[i];
+            if (i < bwVectors.size())
+                input.bwCurve = bwVectors[i];
+            if (i < aluVectors.size())
+                input.aluCurve = aluVectors[i];
+
+            double predicted = 0.0;
+            if (!input.perf.empty()) {
+                if (pendingSpatial) {
+                    double peak = 0.0;
+                    for (const double p : input.perf)
+                        peak = std::max(peak, p);
+                    predicted = peak * group_size[i];
+                } else if (!decision.ctas.empty() &&
+                           decision.ctas[i] >= 1) {
+                    const std::size_t idx = std::min<std::size_t>(
+                        decision.ctas[i] - 1, input.perf.size() - 1);
+                    predicted = input.perf[idx] * gpu.numSms();
+                }
+            }
+            entry.predictedIpc.push_back(predicted);
+            entry.kernels.push_back(std::move(input));
+        }
+        entry.steps = decision.steps;
+        entry.chosenCtas = decision.ctas;
+        entry.normPerf = decision.normPerf;
+        entry.realizedIpc.assign(live.size(), -1.0);
+        pendingRealized =
+            static_cast<std::ptrdiff_t>(dlog->record(std::move(entry)));
+    }
 }
 
 void
@@ -349,6 +411,21 @@ WarpedSlicerPolicy::tick(Gpu &gpu, Cycle now)
                     deviated = true;
             }
         }
+        // The first settled window (over-quota profile CTAs drained)
+        // is the decision's realized-IPC measurement: the baseline
+        // values just captured are exactly the per-kernel whole-GPU
+        // IPC under the applied split.
+        if (dlog && pendingRealized >= 0 &&
+            windowsSinceDecision == opts.baselineSkipWindows + 1) {
+            DecisionLogEntry &entry =
+                dlog->entries()[static_cast<std::size_t>(
+                    pendingRealized)];
+            for (std::size_t i = 0;
+                 i < live.size() && i < entry.realizedIpc.size(); ++i)
+                entry.realizedIpc[i] = baselineIpc[i];
+            entry.realizedAt = now;
+            pendingRealized = -1;
+        }
         monitorStart = now;
         deviatedWindows = deviated ? deviatedWindows + 1 : 0;
         if (deviatedWindows >= opts.sustainedWindows &&
@@ -380,6 +457,29 @@ WarpedSlicerPolicy::nextDecisionAt(Cycle now) const
                                  : neverCycle;
     }
     return now;
+}
+
+std::string
+WarpedSlicerPolicy::describeLastDecision() const
+{
+    if (history.empty())
+        return {};
+    const DecisionRecord &last = history.back();
+    std::ostringstream os;
+    os << "Dynamic decision @" << last.at << " round " << rounds
+       << ": ";
+    if (last.spatial) {
+        os << "spatial fallback over kernels";
+        for (const KernelId kid : last.live)
+            os << " k" << kid;
+    } else {
+        os << "intra-SM split";
+        for (std::size_t i = 0; i < last.live.size(); ++i)
+            os << " k" << last.live[i] << "="
+               << (i < last.ctas.size() ? last.ctas[i] : 0);
+        os << " (minNormPerf " << decision.minNormPerf << ")";
+    }
+    return os.str();
 }
 
 bool

@@ -27,6 +27,8 @@
 
 namespace wsl {
 
+class DecisionLog;
+
 /** Tunables for the dynamic policy (Figure 10a sensitivity knobs). */
 struct WarpedSlicerOptions
 {
@@ -73,6 +75,7 @@ class WarpedSlicerPolicy : public SlicingPolicy
                      KernelId kid) const override;
     bool timeInvariant() const override { return false; }
     Cycle nextDecisionAt(Cycle now) const override;
+    std::string describeLastDecision() const override;
 
     // ---- Observability (tests, Table III reporting) ----
 
@@ -109,6 +112,15 @@ class WarpedSlicerPolicy : public SlicingPolicy
     {
         return perfVectors;
     }
+
+    /**
+     * Attach (or with nullptr, detach) an explainable decision log
+     * (caller-owned). Every applied repartition from then on records
+     * its water-filling inputs, candidate steps, chosen split, and
+     * predicted-vs-realized IPC. Purely observational: attaching
+     * cannot change any decision.
+     */
+    void attachDecisionLog(DecisionLog *log) { dlog = log; }
 
   private:
     void startProfiling(Gpu &gpu, Cycle now);
@@ -149,9 +161,19 @@ class WarpedSlicerPolicy : public SlicingPolicy
     WaterFillResult decision;
     std::vector<DecisionRecord> history;
     std::vector<std::vector<double>> perfVectors;
+    /** Measured shared-resource demand curves matching perfVectors
+     *  (kept for the decision log's provenance record). */
+    std::vector<std::vector<double>> bwVectors;
+    std::vector<std::vector<double>> aluVectors;
     bool pendingSpatial = false;
     unsigned rounds = 0;
     Cycle decidedAt = 0;
+
+    // Decision-log plumbing (nullptr = disabled).
+    DecisionLog *dlog = nullptr;
+    /** Index of the last recorded entry whose realized-IPC window has
+     *  not closed yet; <0 when none pending. */
+    std::ptrdiff_t pendingRealized = -1;
 
     // Phase monitor state.
     Cycle monitorStart = 0;

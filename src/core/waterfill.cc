@@ -112,13 +112,22 @@ waterFill(const std::vector<KernelDemand> &demands,
         const bool alu_ok =
             alu_budget <= 0.0 ||
             total_demand(next_ctas, true) <= alu_budget;
+        WaterFillStep step;
+        step.kernel = selected;
+        step.ctasAfter = next_ctas[selected];
+        step.level = s.q[s.g + 1];
         if (next.fitsIn(total) && bw_ok && alu_ok) {
+            step.accepted = true;
             used = next;
             ++s.g;
             result.ctas[selected] += delta;
         } else {
+            step.reason = !next.fitsIn(total) ? "resources"
+                          : !bw_ok            ? "bandwidth"
+                                              : "alu";
             s.full = true;
         }
+        result.steps.push_back(step);
     }
 
     result.minNormPerf = std::numeric_limits<double>::infinity();

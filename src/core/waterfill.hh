@@ -44,6 +44,24 @@ struct KernelDemand
     std::vector<double> aluCurve;
 };
 
+/**
+ * One candidate step of the water-filling iteration: the worst-off
+ * kernel tried to climb to its next performance level. Recorded so a
+ * decision log can replay *why* the final split looks the way it does
+ * ("kernel 1 stopped at 3 CTAs because the bandwidth budget refused
+ * the step to 5").
+ */
+struct WaterFillStep
+{
+    int kernel = -1;       //!< index into the demands vector
+    int ctasAfter = 0;     //!< CTA count the step would reach
+    double level = 0.0;    //!< normalized perf level it would reach
+    bool accepted = false;
+    /** "ok", or the constraint that refused the step: "resources",
+     *  "bandwidth", "alu". */
+    const char *reason = "ok";
+};
+
 /** Output of the partitioning algorithm. */
 struct WaterFillResult
 {
@@ -58,6 +76,9 @@ struct WaterFillResult
     double minNormPerf = 0.0;
     /** Resources consumed by the chosen assignment. */
     ResourceVec used;
+    /** Every candidate raise the algorithm considered, in order
+     *  (empty for exhaustiveSweetSpot, which has no iteration). */
+    std::vector<WaterFillStep> steps;
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "check/watchdog.hh"
 #include "common/log.hh"
+#include "obs/engine_profiler.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/tracer.hh"
 
@@ -278,10 +279,30 @@ Gpu::tick()
     // serially in fixed index order — the same order the old
     // routeMemory() produced — which is what keeps any thread count
     // bit-identical to the serial engine.
-    tickSms();
-    icnt.mergeRequests(smPtrs, partPtrs);
-    tickPartitions();
-    icnt.deliverResponses(partPtrs, smPtrs);
+    if (prof) {
+        // Timed variant: identical phase sequence, bracketed by
+        // monotonic clock reads that feed nothing back into the
+        // simulation.
+        prof->onTick();
+        const std::uint64_t t0 = EngineProfiler::timestampNs();
+        tickSms();
+        const std::uint64_t t1 = EngineProfiler::timestampNs();
+        icnt.mergeRequests(smPtrs, partPtrs);
+        const std::uint64_t t2 = EngineProfiler::timestampNs();
+        tickPartitions();
+        const std::uint64_t t3 = EngineProfiler::timestampNs();
+        icnt.deliverResponses(partPtrs, smPtrs);
+        const std::uint64_t t4 = EngineProfiler::timestampNs();
+        prof->onPhaseNs(EpochPhase::SmCompute, t1 - t0);
+        prof->onPhaseNs(EpochPhase::IcntMergeRequests, t2 - t1);
+        prof->onPhaseNs(EpochPhase::PartitionCompute, t3 - t2);
+        prof->onPhaseNs(EpochPhase::IcntDeliver, t4 - t3);
+    } else {
+        tickSms();
+        icnt.mergeRequests(smPtrs, partPtrs);
+        tickPartitions();
+        icnt.deliverResponses(partPtrs, smPtrs);
+    }
     drainCtaEvents();
     checkKernelProgress();
     ++now;
@@ -301,15 +322,30 @@ Gpu::attachTelemetry(TelemetrySampler *sampler)
         telem->bind(*this);
 }
 
+void
+Gpu::attachEngineProfiler(EngineProfiler *profiler)
+{
+    prof = profiler;
+    if (pool)
+        pool->enableStats(prof != nullptr);
+}
+
 Cycle
 Gpu::nextHorizon(Cycle end)
 {
     // A kernel-set change this tick may have shifted temporal policy
     // state (e.g. the TimeSlice owner); run one un-skipped tick so the
     // policy observes it before the clock jumps.
-    if (policyDirty)
+    if (policyDirty) {
+        if (prof)
+            pendingCap = HorizonCap::PolicyDirty;
         return now;
-    Cycle h = std::min(end, policy->nextDecisionAt(now));
+    }
+    const Cycle policy_next = policy->nextDecisionAt(now);
+    Cycle h = std::min(end, policy_next);
+    if (prof)
+        pendingCap = policy_next <= end ? HorizonCap::Policy
+                                        : HorizonCap::RunEnd;
     if (h <= now)
         return now;
     if (telem) {
@@ -317,33 +353,71 @@ Gpu::nextHorizon(Cycle end)
         // (it tests the post-increment clock), so that cycle must be
         // ticked, not skipped.
         const Cycle sample = telem->nextSampleAt();
-        if (sample <= now + 1)
+        if (sample <= now + 1) {
+            if (prof)
+                pendingCap = HorizonCap::Telemetry;
             return now;
-        h = std::min(h, sample - 1);
+        }
+        if (sample - 1 < h) {
+            h = sample - 1;
+            if (prof)
+                pendingCap = HorizonCap::Telemetry;
+        }
     }
+    // Cap attribution when a component wins: partitions are few, so
+    // re-asking them (const scans) disambiguates SM vs partition — a
+    // partition with an event at or before the capped horizon ties or
+    // beats every SM. Only runs while profiling.
+    const auto component_cap = [&](Cycle at) {
+        for (const auto &part : partitions)
+            if (part->nextEventAt(now) <= at)
+                return HorizonCap::Partition;
+        return HorizonCap::Sm;
+    };
     if (pool) {
         // Sharded min-reduce: each worker scans its component slice
         // (with the same early-out at `now`) into its own slot; min
         // of per-worker minima == min of the serial scan.
         pool->run(horizonPhase);
         for (const Cycle shard_min : horizonShard) {
-            if (shard_min <= now)
+            if (shard_min <= now) {
+                if (prof)
+                    pendingCap = component_cap(now);
                 return now;
-            h = std::min(h, shard_min);
+            }
+            if (shard_min < h) {
+                h = shard_min;
+                if (prof)
+                    pendingCap = component_cap(h);
+            }
         }
         return h;
     }
     for (const auto &sm_ptr : sms) {
         const Cycle e = sm_ptr->nextEventAt(now);
-        if (e <= now)
+        if (e <= now) {
+            if (prof)
+                pendingCap = HorizonCap::Sm;
             return now;
-        h = std::min(h, e);
+        }
+        if (e < h) {
+            h = e;
+            if (prof)
+                pendingCap = HorizonCap::Sm;
+        }
     }
     for (const auto &part : partitions) {
         const Cycle e = part->nextEventAt(now);
-        if (e <= now)
+        if (e <= now) {
+            if (prof)
+                pendingCap = HorizonCap::Partition;
             return now;
-        h = std::min(h, e);
+        }
+        if (e < h) {
+            h = e;
+            if (prof)
+                pendingCap = HorizonCap::Partition;
+        }
     }
     return h;
 }
@@ -441,10 +515,21 @@ Gpu::run(Cycle max_cycles)
         // straight past detection to max_cycles. Prefix windows of a
         // skippable stretch are always themselves skippable, so the
         // cap is safe.
-        if (wd != 0)
-            h = std::min(h, lastProgressCycle + wd);
-        if (h > now)
+        if (wd != 0) {
+            const Cycle deadline = lastProgressCycle + wd;
+            if (deadline < h) {
+                h = deadline;
+                if (prof)
+                    pendingCap = HorizonCap::WatchdogDeadline;
+            }
+        }
+        if (prof)
+            prof->onHorizonCap(pendingCap);
+        if (h > now) {
+            if (prof)
+                prof->onSkip(h - now);
             bulkSkip(h - now);
+        }
     }
     return now - start;
 }

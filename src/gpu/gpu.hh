@@ -24,6 +24,8 @@
 
 namespace wsl {
 
+class EngineProfiler;
+enum class HorizonCap : unsigned;
 class TelemetrySampler;
 
 /**
@@ -77,6 +79,7 @@ class Gpu
     }
     const GpuConfig &config() const { return cfg; }
     SlicingPolicy &slicingPolicy() { return *policy; }
+    const SlicingPolicy &slicingPolicy() const { return *policy; }
     MemPartition &partition(unsigned i) { return *partitions[i]; }
     const MemPartition &partition(unsigned i) const
     {
@@ -104,10 +107,21 @@ class Gpu
     void attachTelemetry(TelemetrySampler *sampler);
     TelemetrySampler *telemetry() const { return telem; }
 
+    /**
+     * Attach (or with nullptr, detach) the engine self-profiler. While
+     * attached, every tick phase is wall-clock-timed and every skip
+     * horizon attributed; the profiler never feeds back into
+     * simulation decisions, so attaching it cannot change simulated
+     * state. Also switches the tick pool's per-worker stats on/off.
+     */
+    void attachEngineProfiler(EngineProfiler *profiler);
+    EngineProfiler *engineProfiler() const { return prof; }
+
     /** The invariant auditor, when cfg.auditCadence enabled one
      *  (nullptr otherwise). Exposed so tests and tools can register
      *  extra checks or read the audit count. */
     Auditor *integrityAuditor() { return auditor.get(); }
+    const Auditor *integrityAuditor() const { return auditor.get(); }
 
     /** The ordered SM <-> partition traffic merge (conservation
      *  counters for the auditor's staging check). */
@@ -166,6 +180,10 @@ class Gpu
     std::vector<std::unique_ptr<MemPartition>> partitions;
     std::vector<std::unique_ptr<KernelInstance>> kernels;
     TelemetrySampler *telem = nullptr;
+    EngineProfiler *prof = nullptr;
+    /** Scratch for run(): which constraint capped the horizon the
+     *  last nextHorizon() computed (written only while `prof`). */
+    HorizonCap pendingCap{};
     std::unique_ptr<Auditor> auditor;
     Cycle now = 0;
 

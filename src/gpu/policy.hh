@@ -61,6 +61,14 @@ class SlicingPolicy
     virtual bool timeInvariant() const { return true; }
 
     /**
+     * One-line human-readable summary of the policy's most recent
+     * partitioning decision, for stall reports and post-mortems; ""
+     * when the policy has made no decision (or has none to explain —
+     * the default for stateless policies).
+     */
+    virtual std::string describeLastDecision() const { return {}; }
+
+    /**
      * Earliest future cycle at which tick() may act or a dispatch
      * decision (quotas, mayDispatch mask) may change with the passage
      * of time alone — that is, with no intervening kernel-set change.

@@ -10,6 +10,8 @@
 #include "core/policies.hh"
 #include "harness/parallel.hh"
 #include "harness/solo_cache.hh"
+#include "obs/decision_log.hh"
+#include "obs/engine_profiler.hh"
 #include "telemetry/telemetry.hh"
 
 namespace wsl {
@@ -167,9 +169,16 @@ runCoSchedule(const std::vector<KernelParams> &apps,
         kids.push_back(gpu.launchKernel(apps[i], targets[i]));
     if (opts.telemetry)
         gpu.attachTelemetry(opts.telemetry);
+    if (opts.profiler)
+        gpu.attachEngineProfiler(opts.profiler);
+    if (opts.decisionLog)
+        if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(policy_raw))
+            dyn->attachDecisionLog(opts.decisionLog);
     gpu.run(opts.maxCycles);
 
     CoRunResult r;
+    if (opts.profiler)
+        opts.profiler->harvest(gpu);
     if (opts.telemetry && opts.telemetry->enabled()) {
         // Close the trailing partial interval and pull the histograms
         // out before the Gpu (and its SMs/partitions) is destroyed.

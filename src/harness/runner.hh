@@ -26,6 +26,9 @@
 
 namespace wsl {
 
+class DecisionLog;
+class EngineProfiler;
+
 /** The multiprogramming approaches compared in the evaluation. */
 enum class PolicyKind { LeftOver, Even, Spatial, Dynamic };
 
@@ -92,6 +95,17 @@ struct CoRunOptions
      * sampler's series covers the whole run.
      */
     TelemetrySampler *telemetry = nullptr;
+    /**
+     * Optional engine self-profiler (owned by the caller). Attached
+     * for the run and harvested before the Gpu is destroyed; the
+     * simulation itself is bit-identical with or without it.
+     */
+    EngineProfiler *profiler = nullptr;
+    /**
+     * Optional Dynamic-policy decision log (owned by the caller).
+     * Only meaningful with PolicyKind::Dynamic; ignored otherwise.
+     */
+    DecisionLog *decisionLog = nullptr;
 };
 
 /**

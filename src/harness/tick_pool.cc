@@ -1,8 +1,20 @@
 #include "harness/tick_pool.hh"
 
+#include <chrono>
+
 namespace wsl {
 
 namespace {
+
+/** Monotonic nanoseconds for the self-profile. */
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /** Busy-wait hint: de-prioritize the spinning hyperthread without
  *  giving up the time slice. */
@@ -54,12 +66,30 @@ TickPool::~TickPool()
 }
 
 void
+TickPool::enableStats(bool on)
+{
+    statsEnabled = on;
+    poolStats = {};
+    if (on)
+        poolStats.workers.assign(total, {});
+}
+
+void
 TickPool::run(const std::function<void(unsigned)> &fn)
 {
+    const bool timed = statsEnabled;
+    if (timed)
+        ++poolStats.dispatches;
     if (total <= 1) {
         if (testHook)
             testHook(0);
-        fn(0);
+        if (timed) {
+            const std::uint64_t t0 = nowNs();
+            fn(0);
+            poolStats.workers[0].busyNs += nowNs() - t0;
+        } else {
+            fn(0);
+        }
         return;
     }
     job = &fn;
@@ -72,12 +102,20 @@ TickPool::run(const std::function<void(unsigned)> &fn)
         epoch.notify_all();
 
     // The dispatching thread is worker 0.
+    std::uint64_t t0 = 0;
+    if (timed)
+        t0 = nowNs();
     try {
         if (testHook)
             testHook(0);
         fn(0);
     } catch (...) {
         errors[0] = std::current_exception();
+    }
+    std::uint64_t t1 = 0;
+    if (timed) {
+        t1 = nowNs();
+        poolStats.workers[0].busyNs += t1 - t0;
     }
 
     // Barrier: workers publish their writes with the release
@@ -92,6 +130,8 @@ TickPool::run(const std::function<void(unsigned)> &fn)
         else
             std::this_thread::yield();
     }
+    if (timed)
+        poolStats.barrierWaitNs += nowNs() - t1;
 
     for (std::exception_ptr &err : errors) {
         if (err) {
@@ -110,6 +150,7 @@ TickPool::workerLoop(unsigned t)
 {
     const unsigned spin = spinBudget();
     std::uint64_t seen = 0;
+    std::uint64_t parksThisWait = 0;
     for (;;) {
         std::uint64_t e;
         unsigned spins = 0;
@@ -128,12 +169,22 @@ TickPool::workerLoop(unsigned t)
                 if (epoch.load(std::memory_order_seq_cst) == seen)
                     epoch.wait(seen, std::memory_order_seq_cst);
                 parked.fetch_sub(1, std::memory_order_relaxed);
+                ++parksThisWait;
                 spins = spin;  // yield again before re-parking
             }
         }
         seen = e;
         if (stopping.load(std::memory_order_relaxed))
             return;
+        // statsEnabled was published by the epoch acquire above; each
+        // worker writes only its own stats slot.
+        const bool timed = statsEnabled;
+        std::uint64_t t0 = 0;
+        if (timed) {
+            poolStats.workers[t].parks += parksThisWait;
+            t0 = nowNs();
+        }
+        parksThisWait = 0;
         try {
             if (testHook)
                 testHook(t);
@@ -141,6 +192,8 @@ TickPool::workerLoop(unsigned t)
         } catch (...) {
             errors[t] = std::current_exception();
         }
+        if (timed)
+            poolStats.workers[t].busyNs += nowNs() - t0;
         remaining.fetch_sub(1, std::memory_order_release);
     }
 }

@@ -32,6 +32,28 @@
 
 namespace wsl {
 
+/**
+ * Wall-clock self-profile of a TickPool, recorded only while stats
+ * are enabled (enableStats). Each worker owns its slot exclusively,
+ * so recording is contention-free; none of it feeds back into
+ * dispatch, sharding, or waiting, so enabling stats cannot perturb
+ * simulated state.
+ */
+struct TickPoolStats
+{
+    struct Worker
+    {
+        std::uint64_t busyNs = 0;  //!< time inside the phase callable
+        std::uint64_t parks = 0;   //!< futex parks between dispatches
+    };
+
+    std::uint64_t dispatches = 0;     //!< run() calls (epochs)
+    /** Time the dispatching thread spent at the post-phase barrier
+     *  waiting for stragglers (its own share excluded). */
+    std::uint64_t barrierWaitNs = 0;
+    std::vector<Worker> workers;      //!< one slot per worker
+};
+
 /** Contiguous [begin, end) slice of `n` items owned by worker `t` of
  *  `threads`: index order is preserved across workers, which is what
  *  lets merged output reproduce the serial iteration order. */
@@ -75,6 +97,18 @@ class TickPool
         testHook = std::move(hook);
     }
 
+    /**
+     * Switch wall-clock self-profiling on or off. Off (the default)
+     * keeps run() free of clock reads; on, each run() records per-
+     * worker busy time, the dispatcher's barrier wait, and park
+     * counts into stats(). Only call while no run() is in flight.
+     */
+    void enableStats(bool on);
+
+    /** The profile accumulated since stats were enabled. Snapshot it
+     *  only between run() calls. */
+    const TickPoolStats &stats() const { return poolStats; }
+
   private:
     void workerLoop(unsigned t);
     void await(std::uint64_t target);
@@ -87,6 +121,10 @@ class TickPool
     const std::function<void(unsigned)> *job = nullptr;
     std::vector<std::exception_ptr> errors;
     std::function<void(unsigned)> testHook;
+    /** Plain bool: toggled only between runs, read by workers after
+     *  the epoch acquire that also publishes it. */
+    bool statsEnabled = false;
+    TickPoolStats poolStats;
     std::vector<std::jthread> workers;
 };
 

@@ -1,0 +1,82 @@
+#include "obs/decision_log.hh"
+
+#include "obs/json.hh"
+
+namespace wsl {
+
+namespace {
+
+JsonValue
+numberArray(const std::vector<double> &values)
+{
+    JsonValue arr = JsonValue::makeArray();
+    for (const double v : values)
+        arr.append(JsonValue::makeNumber(v));
+    return arr;
+}
+
+JsonValue
+intArray(const std::vector<int> &values)
+{
+    JsonValue arr = JsonValue::makeArray();
+    for (const int v : values)
+        arr.append(JsonValue::makeNumber(v));
+    return arr;
+}
+
+} // namespace
+
+void
+DecisionLog::writeJson(std::ostream &os) const
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("schema", JsonValue::makeString("wslicer-decisions-v1"));
+    JsonValue decisions = JsonValue::makeArray();
+    for (const DecisionLogEntry &e : log) {
+        JsonValue d = JsonValue::makeObject();
+        d.set("cycle", JsonValue::makeNumber(
+                           static_cast<double>(e.cycle)));
+        d.set("round", JsonValue::makeNumber(e.round));
+        d.set("feasible", JsonValue::makeBool(e.feasible));
+        d.set("spatial", JsonValue::makeBool(e.spatial));
+        d.set("min_norm_perf", JsonValue::makeNumber(e.minNormPerf));
+        d.set("required_perf", JsonValue::makeNumber(e.requiredPerf));
+
+        JsonValue kernels = JsonValue::makeArray();
+        for (const DecisionLogEntry::KernelInput &k : e.kernels) {
+            JsonValue kv = JsonValue::makeObject();
+            kv.set("id", JsonValue::makeNumber(k.id));
+            kv.set("name", JsonValue::makeString(k.name));
+            kv.set("perf", numberArray(k.perf));
+            kv.set("bw_curve", numberArray(k.bwCurve));
+            kv.set("alu_curve", numberArray(k.aluCurve));
+            kernels.append(std::move(kv));
+        }
+        d.set("kernels", std::move(kernels));
+
+        JsonValue steps = JsonValue::makeArray();
+        for (const WaterFillStep &s : e.steps) {
+            JsonValue sv = JsonValue::makeObject();
+            sv.set("kernel", JsonValue::makeNumber(s.kernel));
+            sv.set("ctas_after", JsonValue::makeNumber(s.ctasAfter));
+            sv.set("level", JsonValue::makeNumber(s.level));
+            sv.set("accepted", JsonValue::makeBool(s.accepted));
+            sv.set("reason", JsonValue::makeString(s.reason));
+            steps.append(std::move(sv));
+        }
+        d.set("steps", std::move(steps));
+
+        d.set("chosen_ctas", intArray(e.chosenCtas));
+        d.set("norm_perf", numberArray(e.normPerf));
+        d.set("predicted_ipc", numberArray(e.predictedIpc));
+        d.set("realized_ipc", numberArray(e.realizedIpc));
+        d.set("realized_at", JsonValue::makeNumber(
+                                 static_cast<double>(e.realizedAt)));
+        decisions.append(std::move(d));
+    }
+    root.set("decisions", std::move(decisions));
+    root.write(os);
+    os << '\n';
+}
+
+} // namespace wsl

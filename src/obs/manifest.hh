@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-run manifest: the provenance record a result JSON needs to be
+ * comparable later. PR 5's lesson motivated this — its throughput
+ * baselines were recorded on a 1-thread box and the CI gate happily
+ * compared multi-thread runs against them. A manifest pins down what
+ * produced the numbers: tool name, git describe of the build,
+ * hardware_threads of the recording host, the full config
+ * fingerprint, and a flat counter dump. `wslicer-report check`
+ * validates one; `wslicer-report diff` compares two and knows (via
+ * hardware_threads) which keys are not comparable across hosts.
+ */
+
+#ifndef WSL_OBS_MANIFEST_HH
+#define WSL_OBS_MANIFEST_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+struct GpuConfig;
+class CounterRegistry;
+
+/** Version string of the build ("git describe --always --dirty" at
+ *  configure time; "unknown" outside a git checkout). */
+std::string gitDescribeString();
+
+/** See file comment. */
+struct RunManifest
+{
+    static constexpr const char *schema = "wslicer-manifest-v1";
+
+    std::string tool;         //!< e.g. "wslicer-sim corun"
+    std::string gitDescribe;
+    unsigned hardwareThreads = 0;
+    std::string configFingerprint;
+    Cycle simulatedCycles = 0; //!< 0 when not applicable
+    /** Flat name -> value counter dump (registry snapshot). */
+    std::vector<std::pair<std::string, double>> counters;
+
+    void writeJson(std::ostream &os) const;
+};
+
+/**
+ * Assemble a manifest for the current process: fills gitDescribe and
+ * hardwareThreads, fingerprints `cfg`, and snapshots `registry` into
+ * the counter dump (pass nullptr for no counters).
+ */
+RunManifest buildRunManifest(std::string tool, const GpuConfig &cfg,
+                             const CounterRegistry *registry = nullptr,
+                             Cycle simulated_cycles = 0);
+
+} // namespace wsl
+
+#endif // WSL_OBS_MANIFEST_HH

@@ -681,10 +681,12 @@ SmCore::runScheduler(unsigned sched, Cycle now)
     // same blockers, same majority stall, same culprit kernel.
     ScanCacheEntry &memo = scanCache[sched];
     if (memo.valid && now < memo.validUntil) {
+        ++engineScanMemoHits;
         chargeStall(memo.kind, memo.culprit);
         return;
     }
     memo.valid = false;
+    ++engineSchedScans;
 
     unsigned counts[6] = {0, 0, 0, 0, 0, 0};
     // Per-kernel outcome counts feed stall attribution; zeroing and
@@ -1102,6 +1104,7 @@ SmCore::skipTick(Cycle now, Cycle cycles)
             const ScanCacheEntry &memo = scanCache[s];
             WSL_ASSERT(memo.valid && now + cycles <= memo.validUntil,
                        "skip window crosses a scheduler memo horizon");
+            engineScanMemoHits += cycles;
             chargeStall(memo.kind, memo.culprit, cycles);
         }
     }

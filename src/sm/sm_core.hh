@@ -138,6 +138,17 @@ class SmCore
     const Cache &l1Cache() const { return l1; }
     SmId id() const { return smId; }
 
+    // Engine-meta counters: how the *simulator* ran, not what the
+    // simulated machine did. Deliberately NOT in SmStats — memo
+    // replays and scan counts legitimately differ between the skip
+    // and no-skip engines, so folding them into the identity surface
+    // would break the bit-identity gates.
+
+    /** Scheduler scans answered by replaying the failed-scan memo. */
+    std::uint64_t scanMemoHits() const { return engineScanMemoHits; }
+    /** Full O(warps) scheduler issue scans executed. */
+    std::uint64_t schedulerScans() const { return engineSchedScans; }
+
     /**
      * Switch the telemetry histogram recording (end-to-end memory
      * latency per kernel) on or off. Off (the default) keeps the load
@@ -345,6 +356,10 @@ class SmCore
 
     // Per-scheduler memo of failed issue scans (see ScanCacheEntry).
     std::vector<ScanCacheEntry> scanCache;
+
+    // Engine-meta counters (see the accessors above).
+    std::uint64_t engineScanMemoHits = 0;
+    std::uint64_t engineSchedScans = 0;
 
     std::vector<KernelId> ctaCompletions;
     SmStats smStats;

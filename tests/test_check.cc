@@ -221,6 +221,12 @@ TEST(Watchdog, DetectsInjectedBarrierDeadlockWithinBound)
         EXPECT_NE(report.find("kernels:"), std::string::npos);
         EXPECT_NE(report.find("reason=barrier"), std::string::npos);
         EXPECT_NE(report.find("quotas:"), std::string::npos);
+        // The report is self-contained: it names the policy (with its
+        // last decision, when one was made) and snapshots every
+        // counter at the moment of the stall.
+        EXPECT_NE(report.find("policy: LeftOver"), std::string::npos);
+        EXPECT_NE(report.find("counters:"), std::string::npos);
+        EXPECT_NE(report.find("cycles="), std::string::npos);
     }
 }
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * wslicer-report: offline analysis of wslicer run artifacts.
+ *
+ *   wslicer-report explain <decisions.json>
+ *       Render a Dynamic-policy decision log as a "why this split"
+ *       report: water-filling inputs, candidate raises and why each
+ *       was accepted or refused, the chosen partition, and predicted
+ *       vs realized IPC.
+ *
+ *   wslicer-report check <manifest.json>
+ *       Validate a run manifest. Exit 0 when well-formed, 2 when
+ *       malformed (missing schema/fields, non-numeric counters).
+ *
+ *   wslicer-report diff <base.json> <fresh.json> [--threshold X]
+ *       Compare two manifests or BENCH JSONs. Exit 0 when clean,
+ *       1 when a throughput or bit-identity key regressed, 2 when
+ *       either input is malformed. Thread-sensitive keys are skipped
+ *       when the two runs were recorded on hosts with different
+ *       hardware_threads.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: wslicer-report explain <decisions.json>\n"
+        << "       wslicer-report check <manifest.json>\n"
+        << "       wslicer-report diff <base.json> <fresh.json>"
+        << " [--threshold X]\n";
+    return 2;
+}
+
+/** Load and parse a JSON file; exits 2 on any failure. */
+bool
+loadJson(const std::string &path, wsl::JsonValue &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "wslicer-report: cannot open '" << path
+                  << "'\n";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (!wsl::parseJson(buffer.str(), out, error)) {
+        std::cerr << "wslicer-report: '" << path << "': " << error
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    // CI invokes `wslicer-report --check manifest.json`; accept the
+    // flag spellings as aliases for the subcommands.
+    if (cmd == "--check")
+        cmd = "check";
+    else if (cmd == "--explain")
+        cmd = "explain";
+    else if (cmd == "--diff")
+        cmd = "diff";
+
+    if (cmd == "explain") {
+        wsl::JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return 2;
+        std::string error;
+        if (!wsl::renderDecisionLog(doc, std::cout, error)) {
+            std::cerr << "wslicer-report: " << argv[2] << ": "
+                      << error << "\n";
+            return 2;
+        }
+        return 0;
+    }
+
+    if (cmd == "check") {
+        wsl::JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return 2;
+        std::string error;
+        if (!wsl::checkManifest(doc, error)) {
+            std::cerr << "wslicer-report: " << argv[2]
+                      << ": malformed manifest: " << error << "\n";
+            return 2;
+        }
+        std::cout << argv[2] << ": ok\n";
+        return 0;
+    }
+
+    if (cmd == "diff") {
+        if (argc < 4)
+            return usage();
+        double threshold = 0.20;
+        for (int i = 4; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--threshold" && i + 1 < argc)
+                threshold = std::strtod(argv[++i], nullptr);
+            else
+                return usage();
+        }
+        wsl::JsonValue base, fresh;
+        if (!loadJson(argv[2], base) || !loadJson(argv[3], fresh))
+            return 2;
+        const wsl::DiffResult diff =
+            wsl::diffResults(base, fresh, threshold);
+        wsl::writeDiff(diff, std::cout);
+        return diff.exitCode();
+    }
+
+    return usage();
+}

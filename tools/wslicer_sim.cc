@@ -43,6 +43,10 @@
 #include "common/log.hh"
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "obs/decision_log.hh"
+#include "obs/engine_profiler.hh"
+#include "obs/manifest.hh"
+#include "obs/registry.hh"
 #include "report/table.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/timeline.hh"
@@ -68,6 +72,10 @@ struct Options
     std::string jsonPath;
     std::string tracePath;
     std::string timelinePath;
+    std::string decisionLogPath;  //!< Dynamic-policy decision log JSON
+    std::string profilePath;      //!< engine self-profiler JSON
+    std::string manifestPath;     //!< run manifest JSON
+    std::string promPath;         //!< Prometheus counter dump
     Cycle statsInterval = 0;  //!< 0 = telemetry off
     unsigned jobs = defaultJobs();  //!< worker threads (WSL_JOBS)
     /** Intra-run tick threads (WSL_TICK_THREADS); composed against
@@ -93,7 +101,10 @@ usage(const char *argv0)
                  "         --audit[=N] (run integrity audits every N "
                  "cycles; default 10000)\n"
                  "         --watchdog-cycles N (fail with a deadlock "
-                 "report after N cycles without progress)\n",
+                 "report after N cycles without progress)\n"
+                 "observability (corun): --decision-log FILE "
+                 "--profile FILE\n"
+                 "         --manifest FILE --prom FILE\n",
                  argv0);
     std::exit(2);
 }
@@ -140,6 +151,14 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--trace")
             opt.tracePath = next();
+        else if (arg == "--decision-log")
+            opt.decisionLogPath = next();
+        else if (arg == "--profile")
+            opt.profilePath = next();
+        else if (arg == "--manifest")
+            opt.manifestPath = next();
+        else if (arg == "--prom")
+            opt.promPath = next();
         else if (arg == "--timeline")
             opt.timelinePath = next();
         else if (arg == "--stats-interval")
@@ -327,6 +346,17 @@ cmdCorun(const Options &opt)
     if (sampler.enabled())
         co.telemetry = &sampler;
 
+    // Engine observability: the profiler and decision log attach for
+    // the run and are written out afterwards; neither perturbs the
+    // simulated outcome (the bit-identity test holds them to that).
+    EngineProfiler profiler;
+    if (!opt.profilePath.empty() || !opt.manifestPath.empty() ||
+        !opt.promPath.empty())
+        co.profiler = &profiler;
+    DecisionLog decisions;
+    if (!opt.decisionLogPath.empty())
+        co.decisionLog = &decisions;
+
     // The characterization solo runs above also record trace events;
     // drop them so the timeline covers only the co-run itself.
     if (Tracer::global().enabled())
@@ -408,6 +438,48 @@ cmdCorun(const Options &opt)
                          sampler.enabled() ? &sampler : nullptr,
                          r.makespan);
         std::printf("(wrote %s)\n", opt.timelinePath.c_str());
+    }
+
+    if (!opt.decisionLogPath.empty()) {
+        std::ofstream os(opt.decisionLogPath);
+        if (!os)
+            fatal("cannot open ", opt.decisionLogPath);
+        decisions.writeJson(os);
+        std::printf("(wrote %s, %zu decisions)\n",
+                    opt.decisionLogPath.c_str(),
+                    decisions.entries().size());
+    }
+    if (!opt.profilePath.empty()) {
+        std::ofstream os(opt.profilePath);
+        if (!os)
+            fatal("cannot open ", opt.profilePath);
+        profiler.writeJson(os);
+        std::printf("(wrote %s)\n", opt.profilePath.c_str());
+    }
+    if (!opt.manifestPath.empty() || !opt.promPath.empty()) {
+        // The Gpu is gone; export from the stats snapshot plus the
+        // harvested profiler and process-wide harness counters.
+        CounterRegistry registry;
+        registerStatsCounters(registry, r.stats);
+        if (co.profiler)
+            profiler.registerCounters(registry);
+        registerHarnessCounters(registry);
+        if (!opt.promPath.empty()) {
+            std::ofstream os(opt.promPath);
+            if (!os)
+                fatal("cannot open ", opt.promPath);
+            registry.writePrometheus(os);
+            std::printf("(wrote %s)\n", opt.promPath.c_str());
+        }
+        if (!opt.manifestPath.empty()) {
+            std::ofstream os(opt.manifestPath);
+            if (!os)
+                fatal("cannot open ", opt.manifestPath);
+            buildRunManifest("wslicer-sim corun", cfg, &registry,
+                             r.makespan)
+                .writeJson(os);
+            std::printf("(wrote %s)\n", opt.manifestPath.c_str());
+        }
     }
     return 0;
 }
