@@ -84,6 +84,8 @@ struct PhaseCost
     double computeNsPerCycle = 0;
     double commitNsPerCycle = 0;
     double waitNsPerCycle = 0;
+    double fusedFraction = 0;      //!< simulated cycles inside fused epochs
+    double dispatchesPerCycle = 0; //!< pool dispatches / simulated cycle
     Cycle cycles = 0;
 
     const char *
@@ -97,11 +99,11 @@ struct PhaseCost
 };
 
 PhaseCost
-runWorkloadProfiled(const char *bench, Cycle window, unsigned sms,
-                    unsigned parts, unsigned tick_threads)
+runWorkloadProfiled(const char *bench, Cycle window, bool skip,
+                    unsigned sms, unsigned parts, unsigned tick_threads)
 {
     GpuConfig cfg = GpuConfig::baseline();
-    cfg.clockSkip = false;
+    cfg.clockSkip = skip;
     cfg.numSms = sms;
     cfg.numMemPartitions = parts;
     cfg.tickThreads = tick_threads;
@@ -118,7 +120,8 @@ runWorkloadProfiled(const char *bench, Cycle window, unsigned sms,
         cost.cycles ? cost.cycles : 1);
     const double pooled =
         static_cast<double>(prof.phaseNs(EpochPhase::SmCompute) +
-                            prof.phaseNs(EpochPhase::PartitionCompute));
+                            prof.phaseNs(EpochPhase::PartitionCompute) +
+                            prof.phaseNs(EpochPhase::FusedCompute));
     const double wait =
         static_cast<double>(prof.poolBarrierWaitNs());
     cost.computeNsPerCycle = std::max(0.0, pooled - wait) / cycles;
@@ -128,6 +131,10 @@ runWorkloadProfiled(const char *bench, Cycle window, unsigned sms,
             prof.phaseNs(EpochPhase::IcntDeliver)) /
         cycles;
     cost.waitNsPerCycle = wait / cycles;
+    cost.fusedFraction =
+        static_cast<double>(prof.fusedCycles()) / cycles;
+    cost.dispatchesPerCycle =
+        static_cast<double>(prof.poolDispatches()) / cycles;
     return cost;
 }
 
@@ -265,23 +272,38 @@ main(int argc, char **argv)
 
     // Where does the pooled epoch's time actually go? Profile the same
     // workloads at 4 tick threads and split each simulated cycle into
-    // parallel compute, serial commit, and barrier wait — the answer
-    // to whether the epoch-sync cost lives in the work, the ordered
-    // interconnect merge, or the wakeup/wait machinery.
+    // parallel compute, serial commit, and barrier wait. The primary
+    // rows profile the production engine (clock skipping on, fused
+    // multi-cycle epochs active — one pool dispatch covers a whole
+    // quiet window); the noskip rows keep the per-cycle reference
+    // engine as the in-file before, so wait-per-cycle before/after is
+    // one division away.
     constexpr unsigned profile_threads = 4;
-    PhaseCost phases[2];
-    std::printf("epoch phase split (%u tick threads, profiled):\n",
+    PhaseCost phases[2], phases_noskip[2];
+    std::printf("epoch phase split (%u tick threads, profiled, fused "
+                "engine):\n",
                 profile_threads);
     for (std::size_t i = 0; i < 2; ++i) {
-        phases[i] =
-            runWorkloadProfiled(rows[i].bench, window, base.numSms,
-                                base.numMemPartitions, profile_threads);
+        phases[i] = runWorkloadProfiled(rows[i].bench, window, true,
+                                        base.numSms,
+                                        base.numMemPartitions,
+                                        profile_threads);
+        phases_noskip[i] =
+            runWorkloadProfiled(rows[i].bench, window, false,
+                                base.numSms, base.numMemPartitions,
+                                profile_threads);
         std::printf("  %s (%s): compute %7.1f ns/cyc, commit %7.1f "
-                    "ns/cyc, wait %7.1f ns/cyc -> %s-dominated\n",
+                    "ns/cyc, wait %7.1f ns/cyc (noskip wait %7.1f), "
+                    "%4.1f%% cycles fused, %.2f dispatches/cyc "
+                    "-> %s-dominated\n",
                     rows[i].label, rows[i].bench,
                     phases[i].computeNsPerCycle,
                     phases[i].commitNsPerCycle,
-                    phases[i].waitNsPerCycle, phases[i].dominant());
+                    phases[i].waitNsPerCycle,
+                    phases_noskip[i].waitNsPerCycle,
+                    phases[i].fusedFraction * 100,
+                    phases[i].dispatchesPerCycle,
+                    phases[i].dominant());
     }
 
     std::ofstream os(out_path);
@@ -314,13 +336,21 @@ main(int argc, char **argv)
            << "      \"cycles_per_sec_tick_threads\": {\n"
            << "        \"1\": " << tick_rate[i][0] << ",\n"
            << "        \"2\": " << tick_rate[i][1] << ",\n"
-           << "        \"4\": " << tick_rate[i][2] << "\n"
+           << "        \"4\": " << tick_rate[i][2] << ",\n"
+           // On a 1-core host the 2/4-thread rows can only measure
+           // pool overhead, never speedup; say so in-band so report
+           // diffs don't read them as regressions.
+           << "        \"overhead_only\": "
+           << (std::thread::hardware_concurrency() <= 1 ? "true"
+                                                        : "false")
+           << "\n"
            << "      }\n"
            << "    }" << (i == 0 ? "," : "") << "\n";
     }
     os << "  },\n"
        << "  \"epoch_phase\": {\n"
-       << "    \"tick_threads\": " << profile_threads << ",\n";
+       << "    \"tick_threads\": " << profile_threads << ",\n"
+       << "    \"clock_skip\": true,\n";
     for (std::size_t i = 0; i < 2; ++i) {
         os << "    \"" << rows[i].label << "\": {\n"
            << "      \"compute_ns_per_cycle\": "
@@ -329,6 +359,12 @@ main(int argc, char **argv)
            << phases[i].commitNsPerCycle << ",\n"
            << "      \"wait_ns_per_cycle\": "
            << phases[i].waitNsPerCycle << ",\n"
+           << "      \"fused_cycle_fraction\": "
+           << phases[i].fusedFraction << ",\n"
+           << "      \"pool_dispatches_per_cycle\": "
+           << phases[i].dispatchesPerCycle << ",\n"
+           << "      \"wait_ns_per_cycle_noskip\": "
+           << phases_noskip[i].waitNsPerCycle << ",\n"
            << "      \"dominant\": \"" << phases[i].dominant()
            << "\"\n"
            << "    }" << (i == 0 ? "," : "") << "\n";

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Datacenter-scale tick-engine scaling benchmark. Runs one MM and one
+ * LBM window on the `--preset dc` configuration (128 SMs / 32 memory
+ * partitions) — the shape the pooled engine and fused epochs were
+ * built for — at tick-thread counts 1, 2, 4, ... up to the host's
+ * hardware concurrency, and reports Mcycles/s per count. The results
+ * are bit-identical across thread counts by construction; only wall
+ * clock changes, so the rows measure the engine, not the model.
+ *
+ * Usage: bench_scaling [--out FILE] [--manifest FILE] [--window N]
+ *                      [--preset baseline|large|dc]
+ *   --out       result JSON (default BENCH_scaling.json)
+ *   --manifest  provenance manifest for `wslicer-report check`
+ *               (default: none)
+ *   --window    simulated cycles per run (default 100000; CI smoke
+ *               passes a small value)
+ *
+ * The scaling gate: on a multi-core host, throughput at each doubled
+ * thread count must not fall below the 1-thread row (the fused engine
+ * plus sharded compute should at worst break even, and grow on real
+ * spare cores). On a 1-hardware-thread host extra workers can only
+ * add overhead, so the gate auto-skips with an explicit log line and
+ * the JSON records "skipped" — honest rows, no fake pass.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/policies.hh"
+#include "gpu/gpu.hh"
+#include "obs/manifest.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct ScalePoint
+{
+    unsigned tickThreads = 0;
+    Cycle cycles = 0;
+    double secs = 0;
+
+    double
+    cyclesPerSec() const
+    {
+        return secs > 0 ? static_cast<double>(cycles) / secs : 0;
+    }
+};
+
+ScalePoint
+runWindow(const GpuConfig &preset, const char *bench, Cycle window,
+          unsigned tick_threads)
+{
+    GpuConfig cfg = preset;
+    cfg.clockSkip = true; // the production engine: skip + fused epochs
+    cfg.tickThreads = tick_threads;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark(bench));
+    const auto t0 = std::chrono::steady_clock::now();
+    gpu.run(window);
+    return {tick_threads, gpu.cycle(), seconds(t0)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_scaling.json";
+    std::string manifest_path;
+    std::string preset_name = "dc";
+    Cycle window = 100000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--manifest") == 0 &&
+                   i + 1 < argc) {
+            manifest_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--window") == 0 &&
+                   i + 1 < argc) {
+            window = static_cast<Cycle>(std::strtoull(argv[++i],
+                                                      nullptr, 10));
+        } else if (std::strcmp(argv[i], "--preset") == 0 &&
+                   i + 1 < argc) {
+            preset_name = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out FILE] [--manifest FILE] "
+                         "[--window N] [--preset baseline|large|dc]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    GpuConfig preset;
+    if (preset_name == "dc")
+        preset = GpuConfig::datacenter();
+    else if (preset_name == "large")
+        preset = GpuConfig::largeResource();
+    else if (preset_name == "baseline")
+        preset = GpuConfig::baseline();
+    else {
+        std::fprintf(stderr, "unknown --preset '%s'\n",
+                     preset_name.c_str());
+        return 2;
+    }
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    // 1, 2, 4, ... up to the hardware thread count (at least the
+    // 1-thread serial row, so the JSON is useful even on 1-core CI).
+    std::vector<unsigned> counts{1};
+    for (unsigned t = 2; t <= hw && t <= 8; t *= 2)
+        counts.push_back(t);
+
+    struct Workload
+    {
+        const char *label;
+        const char *bench;
+        std::vector<ScalePoint> points;
+    };
+    Workload workloads[] = {{"compute", "MM", {}},
+                            {"memory", "LBM", {}}};
+
+    std::printf("tick-engine scaling, --preset %s (%u SMs / %u "
+                "partitions), window %llu, %u hw threads:\n",
+                preset_name.c_str(), preset.numSms,
+                preset.numMemPartitions,
+                static_cast<unsigned long long>(window), hw);
+    for (Workload &w : workloads) {
+        for (const unsigned t : counts) {
+            w.points.push_back(runWindow(preset, w.bench, window, t));
+            const ScalePoint &p = w.points.back();
+            std::printf("  %s (%s) @ %u tick threads: %8.3f Mcyc/s\n",
+                        w.label, w.bench, t, p.cyclesPerSec() / 1e6);
+        }
+        // Every run must simulate the same window — the engine is
+        // bit-identical across thread counts, so a cycle-count
+        // mismatch means a bug, not noise.
+        for (const ScalePoint &p : w.points) {
+            if (p.cycles != w.points.front().cycles) {
+                std::fprintf(stderr,
+                             "FAIL: %s simulated %llu cycles at %u "
+                             "threads vs %llu at 1 thread\n",
+                             w.label,
+                             static_cast<unsigned long long>(p.cycles),
+                             p.tickThreads,
+                             static_cast<unsigned long long>(
+                                 w.points.front().cycles));
+                return 1;
+            }
+        }
+    }
+
+    // Scaling gate (see file comment). "Monotonic" here means no
+    // pooled row falls below the serial row — demanding strict growth
+    // between pooled rows would gate on scheduler noise.
+    const char *gate = "skipped";
+    bool gate_fail = false;
+    if (hw <= 1 || counts.size() < 2) {
+        std::printf("scaling gate skipped: %u hardware thread%s — "
+                    "pooled rows measure overhead, not speedup\n", hw,
+                    hw == 1 ? "" : "s");
+    } else {
+        gate = "passed";
+        for (const Workload &w : workloads) {
+            const double serial = w.points.front().cyclesPerSec();
+            for (const ScalePoint &p : w.points) {
+                if (p.cyclesPerSec() < serial * 0.95) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s at %u tick threads "
+                                 "(%.3f Mcyc/s) below the serial row "
+                                 "(%.3f Mcyc/s)\n",
+                                 w.label, p.tickThreads,
+                                 p.cyclesPerSec() / 1e6,
+                                 serial / 1e6);
+                    gate = "failed";
+                    gate_fail = true;
+                }
+            }
+        }
+        std::printf("scaling gate: %s\n", gate);
+    }
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    os << "{\n"
+       << "  \"preset\": \"" << preset_name << "\",\n"
+       << "  \"num_sms\": " << preset.numSms << ",\n"
+       << "  \"num_mem_partitions\": " << preset.numMemPartitions
+       << ",\n"
+       << "  \"window_cycles\": " << window << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"gate\": \"" << gate << "\",\n"
+       << "  \"workloads\": {\n";
+    for (std::size_t i = 0; i < 2; ++i) {
+        const Workload &w = workloads[i];
+        os << "    \"" << w.label << "\": {\n"
+           << "      \"bench\": \"" << w.bench << "\",\n"
+           << "      \"cycles\": " << w.points.front().cycles << ",\n"
+           << "      \"cycles_per_sec_tick_threads\": {\n";
+        for (std::size_t j = 0; j < w.points.size(); ++j)
+            os << "        \"" << w.points[j].tickThreads
+               << "\": " << w.points[j].cyclesPerSec()
+               << (j + 1 < w.points.size() ? "," : "") << "\n";
+        os << "      }\n"
+           << "    }" << (i == 0 ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    std::printf("(wrote %s)\n", out_path.c_str());
+
+    if (!manifest_path.empty()) {
+        std::ofstream ms(manifest_path);
+        if (!ms) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         manifest_path.c_str());
+            return 1;
+        }
+        buildRunManifest("bench_scaling", preset, nullptr, window)
+            .writeJson(ms);
+        std::printf("(wrote %s)\n", manifest_path.c_str());
+    }
+    return gate_fail ? 1 : 0;
+}

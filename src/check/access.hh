@@ -31,6 +31,10 @@ struct AuditAccess
     static const std::vector<WarpState> &
     warps(const SmCore &sm) { return sm.warps; }
 
+    /** Scheduler-hot rows, parallel to warps() by slot index. */
+    static const std::vector<WarpHot> &
+    hotWarps(const SmCore &sm) { return sm.hot; }
+
     static const std::vector<CtaSlot> &
     ctas(const SmCore &sm) { return sm.ctas; }
 

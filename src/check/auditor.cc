@@ -83,7 +83,7 @@ checkSmResources(const Gpu &gpu, std::vector<std::string> &out)
         }
         const auto &warps = AuditAccess::warps(sm);
         unsigned live = 0;
-        for (const WarpState &w : warps)
+        for (const WarpHot &w : AuditAccess::hotWarps(sm))
             if (w.active && !w.finished)
                 ++live;
         if (AuditAccess::liveWarps(sm) != live) {
@@ -171,8 +171,9 @@ checkSmScoreboard(const Gpu &gpu, std::vector<std::string> &out)
                 load.epoch == warps[load.warp].epoch)
                 loadMask[load.warp] |= load.regMask;
         }
+        const auto &hot = AuditAccess::hotWarps(sm);
         for (std::size_t w = 0; w < warps.size(); ++w) {
-            const WarpState &warp = warps[w];
+            const WarpHot &warp = hot[w];
             if (!warp.active || warp.finished)
                 continue;
             if (warp.pendingLong & ~loadMask[w]) {
@@ -184,7 +185,7 @@ checkSmScoreboard(const Gpu &gpu, std::vector<std::string> &out)
             }
             if (warp.pendingShort) {
                 const std::uint32_t wb = AuditAccess::pendingWbMask(
-                    sm, static_cast<std::uint16_t>(w), warp.epoch);
+                    sm, static_cast<std::uint16_t>(w), warps[w].epoch);
                 if (warp.pendingShort & ~wb) {
                     std::ostringstream os;
                     os << "SM " << s << " warp " << w
@@ -208,7 +209,7 @@ checkSmBarriers(const Gpu &gpu, std::vector<std::string> &out)
 {
     for (unsigned s = 0; s < gpu.numSms(); ++s) {
         const SmCore &sm = gpu.sm(s);
-        const auto &warps = AuditAccess::warps(sm);
+        const auto &hot = AuditAccess::hotWarps(sm);
         const auto &ctas = AuditAccess::ctas(sm);
         for (std::size_t c = 0; c < ctas.size(); ++c) {
             const CtaSlot &cta = ctas[c];
@@ -217,7 +218,7 @@ checkSmBarriers(const Gpu &gpu, std::vector<std::string> &out)
             unsigned atBarrier = 0;
             unsigned finished = 0;
             for (std::uint16_t widx : cta.warpIdxs) {
-                const WarpState &w = warps[widx];
+                const WarpHot &w = hot[widx];
                 if (w.finished)
                     ++finished;
                 else if (w.active && w.atBarrier)
@@ -268,7 +269,7 @@ checkSmMasks(const Gpu &gpu, std::vector<std::string> &out)
     const unsigned nsched = gpu.config().numSchedulers;
     for (unsigned s = 0; s < gpu.numSms(); ++s) {
         const SmCore &sm = gpu.sm(s);
-        const auto &warps = AuditAccess::warps(sm);
+        const auto &warps = AuditAccess::hotWarps(sm);
         const auto &lists = AuditAccess::schedLists(sm);
 
         // Scheduler-list membership (valid with or without masks).
@@ -276,7 +277,7 @@ checkSmMasks(const Gpu &gpu, std::vector<std::string> &out)
         for (std::size_t sc = 0; sc < lists.size(); ++sc) {
             for (std::uint16_t widx : lists[sc]) {
                 ++seen[widx];
-                const WarpState &w = warps[widx];
+                const WarpHot &w = warps[widx];
                 if (!w.active || w.finished) {
                     out.push_back("SM " + std::to_string(s) +
                                   ": scheduler " + std::to_string(sc) +
@@ -310,7 +311,7 @@ checkSmMasks(const Gpu &gpu, std::vector<std::string> &out)
         std::uint64_t issuable = 0, memBlocked = 0, shortBlocked = 0;
         std::uint64_t barrier = 0, aluNext = 0, sfuNext = 0, ldstNext = 0;
         for (std::size_t w = 0; w < warps.size(); ++w) {
-            const WarpState &warp = warps[w];
+            const WarpHot &warp = warps[w];
             if (!warp.active || warp.finished)
                 continue;
             const std::uint64_t bit = std::uint64_t{1} << w;

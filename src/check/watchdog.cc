@@ -22,18 +22,18 @@ regBit(int reg)
 
 /** Why this warp is not issuing, mirroring tryIssue's outcome order. */
 const char *
-stallReason(const WarpState &w)
+stallReason(const WarpHot &h, const WarpState &w)
 {
-    if (w.atBarrier)
+    if (h.atBarrier)
         return "barrier";
-    if (w.ibuf == 0)
+    if (h.ibuf == 0)
         return w.fetchPending ? "ifetch-pending" : "ibuffer-empty";
-    const Instruction &inst = w.program->body[w.pc];
+    const Instruction &inst = h.program->body[h.pc];
     const std::uint32_t touched = regBit(inst.src0) | regBit(inst.src1) |
                                   regBit(inst.src2) | regBit(inst.dst);
-    if (touched & w.pendingLong)
+    if (touched & h.pendingLong)
         return "mem-wait";
-    if (touched & w.pendingShort)
+    if (touched & h.pendingShort)
         return "short-raw";
     return "exec-ready";
 }
@@ -77,22 +77,24 @@ buildDeadlockReport(const Gpu &gpu, Cycle stalled_for)
                << " resident)";
         os << "\n";
         const auto &warps = AuditAccess::warps(sm);
+        const auto &hotRows = AuditAccess::hotWarps(sm);
         unsigned listed = 0, skipped = 0;
         for (std::size_t w = 0; w < warps.size(); ++w) {
             const WarpState &warp = warps[w];
-            if (!warp.active || warp.finished)
+            const WarpHot &hw = hotRows[w];
+            if (!hw.active || hw.finished)
                 continue;
             if (listed >= maxWarpLines) {
                 ++skipped;
                 continue;
             }
             ++listed;
-            os << "  w" << w << " k" << warp.kernel << " pc=" << warp.pc
-               << " iter=" << warp.iter << " ibuf=" << warp.ibuf
-               << " reason=" << stallReason(warp);
-            if (warp.pendingLong || warp.pendingShort) {
+            os << "  w" << w << " k" << warp.kernel << " pc=" << hw.pc
+               << " iter=" << warp.iter << " ibuf=" << hw.ibuf
+               << " reason=" << stallReason(hw, warp);
+            if (hw.pendingLong || hw.pendingShort) {
                 os << " scoreboard(long=0x" << std::hex
-                   << warp.pendingLong << ",short=0x" << warp.pendingShort
+                   << hw.pendingLong << ",short=0x" << hw.pendingShort
                    << std::dec << ")";
             }
             os << "\n";

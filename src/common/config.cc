@@ -46,6 +46,19 @@ checkCacheGeometry(const char *name, unsigned size, unsigned assoc)
 
 } // namespace
 
+unsigned
+GpuConfig::autoTickThreads(unsigned num_sms, unsigned hardware)
+{
+    // One worker per ~16 SMs: below that the per-epoch compute slice
+    // is smaller than the dispatch + barrier cost the pool adds, which
+    // is exactly the tick_speedup < 1 the engine profiler measured on
+    // the 16-SM baseline. Bounded by the host's real core count.
+    const unsigned by_work = num_sms / 16;
+    const unsigned threads =
+        hardware < by_work ? hardware : by_work;
+    return threads >= 2 ? threads : 1;
+}
+
 void
 GpuConfig::validate() const
 {

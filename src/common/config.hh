@@ -93,8 +93,24 @@ struct GpuConfig
      *  merged in fixed index order at a cycle barrier, so results are
      *  bit-identical for any thread count (the bench_sweep 8-way gate
      *  enforces this). 1 (the default) is the serial engine with no
-     *  pool at all; clamped to the component count. */
+     *  pool at all; clamped to the component count. Set to
+     *  tickThreadsAuto to let the Gpu constructor pick serial vs
+     *  pooled from the machine size and the host's core count. */
     unsigned tickThreads = 1;
+
+    /** tickThreads sentinel: resolve via autoTickThreads() at Gpu
+     *  construction (CLI spelling: --tick-threads auto). */
+    static constexpr unsigned tickThreadsAuto = ~0u;
+
+    /**
+     * Adaptive engine selection: worker threads justified by the
+     * per-epoch work of a `num_sms`-SM machine on a host with
+     * `hardware` cores (0 = unknown). Small configs — including the
+     * Table I baseline — get 1 (the serial engine, where a pool is
+     * pure dispatch/barrier overhead); large presets get roughly one
+     * worker per 16 SMs, bounded by the cores actually present.
+     */
+    static unsigned autoTickThreads(unsigned num_sms, unsigned hardware);
 
     // ---- Integrity layer (check/) ----
     /** Invariant-audit cadence in cycles; 0 disables audits. Audits
@@ -133,6 +149,24 @@ struct GpuConfig
         c.sharedMemPerSm = 96 * 1024;
         c.maxCtasPerSm = 32;
         c.maxThreadsPerSm = 64 * warpSize;
+        return c;
+    }
+
+    /**
+     * Datacenter-scale machine (CLI: --preset dc): 128 SMs over 32
+     * memory partitions with 256 KB of L2 per partition and the
+     * Section V-H large-resource SM (64 warps, 256 KB register file,
+     * 96 KB shared memory). Not a paper configuration — it exists to
+     * exercise the tick engine at modern-GPU component counts, where
+     * the pooled engine and fused epochs pay off (bench_scaling).
+     */
+    static GpuConfig
+    datacenter()
+    {
+        GpuConfig c = largeResource();
+        c.numSms = 128;
+        c.numMemPartitions = 32;
+        c.l2SizePerPartition = 256 * 1024;
         return c;
     }
 };

@@ -26,6 +26,7 @@ namespace wsl {
 
 class EngineProfiler;
 enum class HorizonCap : unsigned;
+enum class FuseCap : unsigned;
 class TelemetrySampler;
 
 /**
@@ -174,6 +175,30 @@ class Gpu
      *  bulk-accounting every SM and partition. */
     void bulkSkip(Cycle cycles);
 
+    /**
+     * Fused-epoch horizon: the first cycle >= now that CANNOT be part
+     * of a multi-cycle fused window starting at `now` — the earliest
+     * cycle where per-cycle glue (policy tick, dispatch, interconnect
+     * merge/deliver, CTA drain, progress checks, telemetry) could
+     * observably act. Every cycle in [now, fuseHorizon(end)) is
+     * provably interaction-free: no SM stages interconnect traffic or
+     * completes a CTA (SmCore::fuseQuietUntil), every partition is
+     * idle, no policy/telemetry/audit/watchdog/instruction-target
+     * boundary falls inside, and dispatch is provably a no-op.
+     * Returns `now` when no fuse is possible. Records the capping
+     * constraint in pendingFuseCap.
+     */
+    Cycle fuseHorizon(Cycle end);
+
+    /**
+     * Run `cycles` consecutive SM ticks with no glue between them —
+     * one pool dispatch (or one serial sweep) instead of `cycles`
+     * full epochs — then bulk-skip the idle partitions and advance
+     * the clock. Caller guarantees cycles <= fuseHorizon(end) - now;
+     * results are bit-identical to `cycles` individual ticks.
+     */
+    void runFusedEpoch(Cycle cycles);
+
     const GpuConfig cfg;
     std::unique_ptr<SlicingPolicy> policy;
     std::vector<std::unique_ptr<SmCore>> sms;
@@ -201,7 +226,18 @@ class Gpu
     std::function<void(unsigned)> partPhase;
     std::function<void(unsigned)> skipPhase;
     std::function<void(unsigned)> horizonPhase;
+    std::function<void(unsigned)> fusePhase;
     Cycle pendingSkip = 0;          //!< argument to skipPhase
+    Cycle pendingFuse = 0;          //!< argument to fusePhase
+    /** Which constraint capped the last fuseHorizon() (profiling). */
+    FuseCap pendingFuseCap{};
+    /** Fuse-attempt cooldown: after a failed attempt, the next cycle
+     *  worth re-scanning. Saturated machines fail every attempt (some
+     *  SM always has near-term memory traffic), so retrying each
+     *  cycle would put the full fuseHorizon() scan on the hot path.
+     *  Engine-only pacing — a delayed fuse covers a shorter window
+     *  with bit-identical per-cycle semantics. */
+    Cycle fuseRetryAt = 0;
     std::vector<Cycle> horizonShard; //!< per-worker horizon minima
 
     // No-progress watchdog state (used only when cfg.watchdogCycles).

@@ -60,6 +60,18 @@ defaultTickThreads()
                      "WSL_TICK_THREADS");
 }
 
+namespace {
+
+/** See tickThreadDegradations(). */
+std::atomic<std::uint64_t> tickDegradations{0};
+
+/** A clamped pool below this many threads is worker-starved: the
+ *  dispatch + barrier cost exceeds what the sharded work saves, so
+ *  the serial engine is strictly faster. */
+constexpr unsigned minUsefulPoolThreads = 3;
+
+} // namespace
+
 unsigned
 composeTickThreads(unsigned jobs, unsigned tick_threads)
 {
@@ -68,12 +80,32 @@ composeTickThreads(unsigned jobs, unsigned tick_threads)
     if (jobs <= 1)
         return tick_threads;
     const unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        return 1;  // unknown machine: don't multiply thread counts
-    if (jobs >= hw)
-        return 1;  // batch already saturates every core
+    if (hw == 0) {
+        // Unknown machine: don't multiply thread counts.
+        ++tickDegradations;
+        return 1;
+    }
+    if (jobs >= hw) {
+        // Batch already saturates every core.
+        ++tickDegradations;
+        return 1;
+    }
     const unsigned per_run = hw / jobs;
-    return tick_threads < per_run ? tick_threads : per_run;
+    if (per_run >= tick_threads)
+        return tick_threads;  // the full request fits
+    if (per_run < minUsefulPoolThreads) {
+        // The clamp would hand back a starved pool; the serial engine
+        // beats it, so degrade the whole way down.
+        ++tickDegradations;
+        return 1;
+    }
+    return per_run;
+}
+
+std::uint64_t
+tickThreadDegradations()
+{
+    return tickDegradations.load(std::memory_order_relaxed);
 }
 
 void

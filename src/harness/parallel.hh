@@ -14,6 +14,7 @@
 #define WSL_HARNESS_PARALLEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -40,10 +41,19 @@ unsigned defaultTickThreads();
  * oversubscribing the machine: with `jobs` concurrent simulations the
  * per-run tick-thread count is clamped so jobs x threads stays within
  * the hardware concurrency (and a fully loaded batch runs each
- * simulation serially). Never returns 0; returns `tick_threads`
- * unchanged when jobs <= 1.
+ * simulation serially). When the clamp would leave a worker-starved
+ * pool (fewer than 3 threads — where dispatch/barrier overhead beats
+ * the sharded work, per the engine profiler), the request degrades
+ * all the way to 1 (the serial engine) instead; every such
+ * degradation is counted (tickThreadDegradations(), exported through
+ * the counter registry as wsl_tick_threads_degraded). Never returns
+ * 0; returns `tick_threads` unchanged when jobs <= 1.
  */
 unsigned composeTickThreads(unsigned jobs, unsigned tick_threads);
+
+/** Process-wide count of composeTickThreads() calls that degraded a
+ *  pooled (>1) request to the serial engine. */
+std::uint64_t tickThreadDegradations();
 
 /**
  * Run fn(0) ... fn(n-1), fanning out over `jobs` worker threads

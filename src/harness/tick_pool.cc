@@ -48,7 +48,7 @@ constexpr unsigned yieldBudget = 64;
 } // namespace
 
 TickPool::TickPool(unsigned threads)
-    : total(threads < 1 ? 1 : threads), errors(total)
+    : total(threads < 1 ? 1 : threads), claims(total), errors(total)
 {
     workers.reserve(total - 1);
     for (unsigned t = 1; t < total; ++t)
@@ -75,6 +75,23 @@ TickPool::enableStats(bool on)
 }
 
 void
+TickPool::runShare(unsigned t, bool timed)
+{
+    std::uint64_t t0 = 0;
+    if (timed)
+        t0 = nowNs();
+    try {
+        if (testHook)
+            testHook(t);
+        (*job)(t);
+    } catch (...) {
+        errors[t] = std::current_exception();
+    }
+    if (timed)
+        poolStats.workers[t].busyNs += nowNs() - t0;
+}
+
+void
 TickPool::run(const std::function<void(unsigned)> &fn)
 {
     const bool timed = statsEnabled;
@@ -94,11 +111,19 @@ TickPool::run(const std::function<void(unsigned)> &fn)
     }
     job = &fn;
     remaining.store(total - 1, std::memory_order_relaxed);
+    // Open the claims with release stores: a straggler that wins a
+    // claim without having re-read the epoch still acquires the job
+    // pointer and the caller's pre-phase writes through the flag.
+    for (unsigned t = 1; t < total; ++t)
+        claims[t].store(false, std::memory_order_release);
     // One RMW releases the job pointer and the caller's pre-phase
     // writes (all simulator state mutated since the last barrier) to
-    // every worker.
+    // every worker. A 1-hardware-thread host skips the wakeup: the
+    // workers could only burn scheduler quanta re-parking, while the
+    // steal loop below runs every share in the calling thread anyway.
     epoch.fetch_add(1, std::memory_order_seq_cst);
-    if (parked.load(std::memory_order_seq_cst) > 0)
+    if (spinBudget() > 0 &&
+        parked.load(std::memory_order_seq_cst) > 0)
         epoch.notify_all();
 
     // The dispatching thread is worker 0.
@@ -112,11 +137,25 @@ TickPool::run(const std::function<void(unsigned)> &fn)
     } catch (...) {
         errors[0] = std::current_exception();
     }
-    std::uint64_t t1 = 0;
-    if (timed) {
-        t1 = nowNs();
-        poolStats.workers[0].busyNs += t1 - t0;
+    if (timed)
+        poolStats.workers[0].busyNs += nowNs() - t0;
+
+    // Steal pass: any share no worker has started yet is cheaper to
+    // run here than to wait for a context switch into a parked or
+    // preempted worker. Spinning workers have already won their
+    // claims, so on an unloaded multi-core host every exchange fails
+    // in one atomic op and no parallelism is lost.
+    for (unsigned t = 1; t < total; ++t) {
+        if (!claims[t].exchange(true, std::memory_order_acq_rel)) {
+            if (timed)
+                ++poolStats.stolenShares;
+            runShare(t, timed);
+            remaining.fetch_sub(1, std::memory_order_release);
+        }
     }
+    std::uint64_t t1 = 0;
+    if (timed)
+        t1 = nowNs();
 
     // Barrier: workers publish their writes with the release
     // decrement; the acquire load makes them visible to the serial
@@ -179,22 +218,17 @@ TickPool::workerLoop(unsigned t)
         // statsEnabled was published by the epoch acquire above; each
         // worker writes only its own stats slot.
         const bool timed = statsEnabled;
-        std::uint64_t t0 = 0;
         if (timed) {
             poolStats.workers[t].parks += parksThisWait;
-            t0 = nowNs();
         }
         parksThisWait = 0;
-        try {
-            if (testHook)
-                testHook(t);
-            (*job)(t);
-        } catch (...) {
-            errors[t] = std::current_exception();
+        // Losing the claim means the dispatcher already stole this
+        // share; skip both the work and the barrier decrement (the
+        // stealer decremented for us) and go wait for the next epoch.
+        if (!claims[t].exchange(true, std::memory_order_acq_rel)) {
+            runShare(t, timed);
+            remaining.fetch_sub(1, std::memory_order_release);
         }
-        if (timed)
-            poolStats.workers[t].busyNs += nowNs() - t0;
-        remaining.fetch_sub(1, std::memory_order_release);
     }
 }
 

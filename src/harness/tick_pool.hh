@@ -10,12 +10,25 @@
  * worker 0's share itself so `threads() == 1` degenerates to a plain
  * call with no synchronization at all.
  *
+ * Every share is guarded by a per-share claim flag: a worker (or the
+ * dispatcher, after finishing its own share) runs share t only if it
+ * wins `claimed[t]`. On a host with spare cores the workers are
+ * already spinning and win their own claims instantly — the
+ * dispatcher's steal attempts fail in one atomic op each. On a
+ * starved host (or against a straggling worker) the dispatcher wins
+ * the claims and executes the shares itself instead of yielding at
+ * the barrier while the scheduler context-switches through parked
+ * workers — turning the worst case from a multi-microsecond wait per
+ * dispatch into a plain serial call. Claim losers never touch the
+ * share or the barrier counter, so every share runs exactly once.
+ *
  * Determinism contract: run(fn) executes fn(0..threads-1) exactly once
- * per worker and returns only after every worker finished, so callers
- * may merge per-worker results in any fixed order they choose. When
- * several workers throw, the exception of the lowest worker index is
- * rethrown — with contiguous index-ordered sharding that is the same
- * error a serial loop would have hit first.
+ * per share and returns only after every share finished, so callers
+ * may merge per-share results in any fixed order they choose. Results
+ * cannot depend on which thread executed a share: fn receives only
+ * the share index. When several shares throw, the exception of the
+ * lowest share index is rethrown — with contiguous index-ordered
+ * sharding that is the same error a serial loop would have hit first.
  */
 
 #ifndef WSL_HARNESS_TICK_POOL_HH
@@ -49,8 +62,13 @@ struct TickPoolStats
 
     std::uint64_t dispatches = 0;     //!< run() calls (epochs)
     /** Time the dispatching thread spent at the post-phase barrier
-     *  waiting for stragglers (its own share excluded). */
+     *  waiting for stragglers. Its own share and any shares it stole
+     *  are excluded — stolen-share time is charged to the *share's*
+     *  worker slot (busyNs measures share cost, not thread time). */
     std::uint64_t barrierWaitNs = 0;
+    /** Shares the dispatcher claimed and ran itself because no worker
+     *  had started them by the time its own share was done. */
+    std::uint64_t stolenShares = 0;
     std::vector<Worker> workers;      //!< one slot per worker
 };
 
@@ -112,6 +130,7 @@ class TickPool
   private:
     void workerLoop(unsigned t);
     void await(std::uint64_t target);
+    void runShare(unsigned t, bool timed);
 
     const unsigned total;
     std::atomic<std::uint64_t> epoch{0};
@@ -119,6 +138,9 @@ class TickPool
     std::atomic<unsigned> parked{0};
     std::atomic<bool> stopping{false};
     const std::function<void(unsigned)> *job = nullptr;
+    /** One flag per share; reset (release) before each epoch bump.
+     *  Whoever wins the exchange owns the share for this epoch. */
+    std::vector<std::atomic<bool>> claims;
     std::vector<std::exception_ptr> errors;
     std::function<void(unsigned)> testHook;
     /** Plain bool: toggled only between runs, read by workers after

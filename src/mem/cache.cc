@@ -10,7 +10,9 @@ Cache::Cache(const CacheParams &p) : params(p)
                "cache too small for its associativity");
     sets = p.size / (p.assoc * lineSize);
     WSL_ASSERT(sets > 0, "cache must have at least one set");
-    lines.resize(sets * p.assoc);
+    tags.resize(sets * p.assoc, 0);
+    flags.resize(sets * p.assoc, 0);
+    lastUse.resize(sets * p.assoc, 0);
 }
 
 unsigned
@@ -19,28 +21,24 @@ Cache::setOf(Addr line) const
     return static_cast<unsigned>((line / lineSize) % sets);
 }
 
-Cache::Line *
-Cache::findLine(Addr line)
-{
-    Line *base = &lines[setOf(line) * params.assoc];
-    for (unsigned w = 0; w < params.assoc; ++w)
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    return nullptr;
-}
-
-const Cache::Line *
+int
 Cache::findLine(Addr line) const
 {
-    return const_cast<Cache *>(this)->findLine(line);
+    const unsigned base = setOf(line) * params.assoc;
+    for (unsigned w = 0; w < params.assoc; ++w) {
+        const unsigned i = base + w;
+        if ((flags[i] & flagValid) && tags[i] == line)
+            return static_cast<int>(i);
+    }
+    return -1;
 }
 
 Cache::ReadResult
 Cache::read(Addr line, std::uint64_t token)
 {
     ++accesses;
-    if (Line *l = findLine(line)) {
-        l->lastUse = ++useClock;
+    if (const int i = findLine(line); i >= 0) {
+        lastUse[i] = ++useClock;
         return ReadResult::Hit;
     }
     ++misses;
@@ -68,10 +66,10 @@ bool
 Cache::write(Addr line, bool mark_dirty)
 {
     ++accesses;
-    if (Line *l = findLine(line)) {
-        l->lastUse = ++useClock;
+    if (const int i = findLine(line); i >= 0) {
+        lastUse[i] = ++useClock;
         if (mark_dirty)
-            l->dirty = true;
+            flags[i] |= flagDirty;
         return true;
     }
     ++misses;
@@ -81,7 +79,7 @@ Cache::write(Addr line, bool mark_dirty)
 bool
 Cache::probe(Addr line) const
 {
-    return findLine(line) != nullptr;
+    return findLine(line) >= 0;
 }
 
 void
@@ -101,27 +99,31 @@ Cache::fill(Addr line, FillResult &out)
             tokenPool.push_back(std::move(it->second));
         mshrs.erase(it);
     }
-    if (findLine(line))
+    if (findLine(line) >= 0)
         return;  // already present (e.g., refetched line)
 
-    Line *base = &lines[setOf(line) * params.assoc];
-    Line *victim = nullptr;
+    const unsigned base = setOf(line) * params.assoc;
+    unsigned victim = base;
+    bool haveVictim = false;
     for (unsigned w = 0; w < params.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        const unsigned i = base + w;
+        if (!(flags[i] & flagValid)) {
+            victim = i;
+            haveVictim = true;
             break;
         }
-        if (!victim || base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (!haveVictim || lastUse[i] < lastUse[victim]) {
+            victim = i;
+            haveVictim = true;
+        }
     }
-    if (victim->valid && victim->dirty) {
+    if ((flags[victim] & flagValid) && (flags[victim] & flagDirty)) {
         result.evictedDirty = true;
-        result.evictedLine = victim->tag;
+        result.evictedLine = tags[victim];
     }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = false;
-    victim->lastUse = ++useClock;
+    tags[victim] = line;
+    flags[victim] = flagValid;
+    lastUse[victim] = ++useClock;
 }
 
 bool
@@ -150,8 +152,9 @@ Cache::mshrHit(Addr line) const
 void
 Cache::reset()
 {
-    for (auto &l : lines)
-        l = Line{};
+    tags.assign(tags.size(), 0);
+    flags.assign(flags.size(), 0);
+    lastUse.assign(lastUse.size(), 0);
     mshrs.clear();
     tokenPool.clear();
     useClock = 0;

@@ -115,21 +115,24 @@ class Cache
   private:
     friend struct AuditAccess;
 
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::uint8_t flagValid = 1;
+    static constexpr std::uint8_t flagDirty = 2;
 
     unsigned setOf(Addr line) const;
-    Line *findLine(Addr line);
-    const Line *findLine(Addr line) const;
+    /** Way-array index of a present line, or -1. */
+    int findLine(Addr line) const;
 
     CacheParams params;
     unsigned sets;
-    std::vector<Line> lines;    //!< sets * assoc, row-major by set
+    // Tag-array metadata, structure-of-arrays: the lookup scan reads
+    // one contiguous `assoc`-wide row of tags (plus a byte of flags
+    // per way) instead of striding across packed per-line records, so
+    // a 4-way probe touches one cache line where the AoS layout
+    // touched two or three. All three arrays are sets * assoc,
+    // row-major by set, indexed identically.
+    std::vector<Addr> tags;
+    std::vector<std::uint8_t> flags;    //!< flagValid | flagDirty
+    std::vector<std::uint64_t> lastUse; //!< LRU stamp per way
     std::uint64_t useClock = 0;
     /** line address -> tokens waiting on the in-flight fetch. */
     std::unordered_map<Addr, std::vector<std::uint64_t>> mshrs;

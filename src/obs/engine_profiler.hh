@@ -43,10 +43,29 @@ enum class EpochPhase : unsigned
     IcntMergeRequests, //!< serial ordered request merge
     PartitionCompute,  //!< MemPartition::tick over all partitions
     IcntDeliver,       //!< serial ordered response delivery
+    FusedCompute,      //!< multi-cycle fused SM window (one dispatch)
     NumPhases
 };
 
 const char *epochPhaseName(EpochPhase phase);
+
+/** Who capped a fused-epoch window (the first event that forced the
+ *  engine back to per-cycle glue — or forbade fusing at all). */
+enum class FuseCap : unsigned
+{
+    Policy,     //!< policy decision boundary (or dirty kernel set)
+    Dispatch,   //!< pending CTA dispatch work (or quota change)
+    Telemetry,  //!< sampler interval boundary
+    Audit,      //!< integrity-audit cadence boundary
+    Watchdog,   //!< no-progress deadline
+    InstTarget, //!< a kernel's instruction target could be hit
+    Sm,         //!< an SM's traffic / CTA-completion quiet bound
+    Partition,  //!< a partition's next event
+    RunEnd,     //!< the caller's max_cycles
+    NumCaps
+};
+
+const char *fuseCapName(FuseCap cap);
 
 /** Who capped a clock-skip horizon (why the clock could not jump
  *  further — or at all). */
@@ -103,6 +122,14 @@ class EngineProfiler
         ++capCounts[static_cast<unsigned>(cap)];
     }
 
+    void
+    onFusedEpoch(Cycle cycles, FuseCap cap)
+    {
+        ++fusedEpochCount;
+        fusedCyclesAcc += cycles;
+        ++fuseCapCounts[static_cast<unsigned>(cap)];
+    }
+
     // ---- Harvest & export ----
 
     /**
@@ -129,6 +156,13 @@ class EngineProfiler
     {
         return capCounts[static_cast<unsigned>(cap)];
     }
+    std::uint64_t fusedEpochs() const { return fusedEpochCount; }
+    std::uint64_t fusedCycles() const { return fusedCyclesAcc; }
+    std::uint64_t
+    fuseCapCount(FuseCap cap) const
+    {
+        return fuseCapCounts[static_cast<unsigned>(cap)];
+    }
 
     struct WorkerProfile
     {
@@ -138,6 +172,7 @@ class EngineProfiler
 
     std::uint64_t poolDispatches() const { return dispatches; }
     std::uint64_t poolBarrierWaitNs() const { return barrierWaitNs; }
+    std::uint64_t poolStolenShares() const { return stolen; }
     const std::vector<WorkerProfile> &workers() const
     {
         return workerProfiles;
@@ -159,13 +194,19 @@ class EngineProfiler
     std::array<std::uint64_t,
                static_cast<unsigned>(HorizonCap::NumCaps)>
         capCounts{};
+    std::array<std::uint64_t,
+               static_cast<unsigned>(FuseCap::NumCaps)>
+        fuseCapCounts{};
     std::uint64_t tickCount = 0;
     std::uint64_t skipCount = 0;
     std::uint64_t skippedCyclesAcc = 0;
+    std::uint64_t fusedEpochCount = 0;
+    std::uint64_t fusedCyclesAcc = 0;
 
     // Harvested (see harvest()).
     std::uint64_t dispatches = 0;
     std::uint64_t barrierWaitNs = 0;
+    std::uint64_t stolen = 0;
     std::vector<WorkerProfile> workerProfiles;
     std::uint64_t memoHits = 0;
     std::uint64_t schedScans = 0;

@@ -5,6 +5,7 @@
 
 #include "check/auditor.hh"
 #include "gpu/gpu.hh"
+#include "harness/parallel.hh"
 #include "harness/solo_cache.hh"
 #include "obs/json.hh"
 #include "report/table.hh"
@@ -225,6 +226,12 @@ registerHarnessCounters(CounterRegistry &registry)
                        static_cast<double>(cache.size()),
                        "gauge",
                        "cached solo results"});
+        out.push_back({"wsl_tick_threads_degraded",
+                       {},
+                       static_cast<double>(tickThreadDegradations()),
+                       "counter",
+                       "pooled tick-thread requests degraded to the "
+                       "serial engine (worker-starved clamp)"});
     });
 }
 

@@ -31,7 +31,7 @@ SmCore::updateIssuable(std::uint16_t widx)
     if (!maskUsable)
         return;
     const std::uint64_t bit = std::uint64_t{1} << widx;
-    const WarpState &w = warps[widx];
+    const WarpHot &w = hot[widx];
     if (!w.active || w.finished) {
         issuableMask &= ~bit;
         memBlockedMask &= ~bit;
@@ -85,6 +85,7 @@ SmCore::SmCore(const GpuConfig &c, SmId id)
       l1(CacheParams{c.l1Size, c.l1Assoc, c.l1Mshrs, 128})
 {
     warps.resize(cfg.maxWarpsPerSm());
+    hot.resize(warps.size());
     ctas.resize(cfg.maxCtasPerSm);
     freeWarpSlots.reserve(warps.size());
     for (unsigned w = 0; w < warps.size(); ++w)
@@ -149,17 +150,19 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
         const std::uint16_t widx = freeWarpSlots.back();
         freeWarpSlots.pop_back();
         WarpState &w = warps[widx];
+        WarpHot &h = hot[widx];
         w.reset();  // keeps epoch and the divStack buffer
-        w.active = true;
+        h.reset();
+        h.active = true;
         w.ctaSlot = slot;
         w.kernel = kid;
         w.warpInCta = i;
         w.activeThreads =
             std::min(warpSize, params.blockDim - i * warpSize);
-        w.activeMask = w.activeThreads >= 32
+        h.activeMask = w.activeThreads >= 32
                            ? 0xffffffffu
                            : ((1u << w.activeThreads) - 1);
-        w.program = &program;
+        h.program = &program;
         w.age = ageCounter++;
         cta.warpIdxs.push_back(widx);
         schedLists[widx % cfg.numSchedulers].push_back(widx);
@@ -176,6 +179,8 @@ SmCore::launchCta(KernelId kid, const KernelParams &params,
     ++resident[kid];
     ++smStats.ctasLaunched;
     invalidateScanCache();
+    fuseBoundValid = false;  // new warps the fuse memo never saw
+    fuseRetryAt = 0;
     (void)now;
     return true;
 }
@@ -188,12 +193,12 @@ SmCore::completeCta(int cta_idx)
     // Every warp already left the scheduler lists in finishWarp();
     // only the slot bookkeeping remains.
     for (std::uint16_t widx : cta.warpIdxs) {
-        WarpState &w = warps[widx];
-        if (w.active && !w.finished)
+        WarpHot &h = hot[widx];
+        if (h.active && !h.finished)
             --liveWarps;
-        w.active = false;
-        w.finished = true;
-        ++w.epoch;  // invalidate in-flight writebacks to this slot
+        h.active = false;
+        h.finished = true;
+        ++warps[widx].epoch;  // invalidate in-flight writebacks
         freeWarpSlots.push_back(widx);
         updateIssuable(widx);
     }
@@ -216,12 +221,12 @@ SmCore::evictKernel(KernelId kid)
             continue;
         any = true;
         for (std::uint16_t widx : cta.warpIdxs) {
-            WarpState &w = warps[widx];
-            if (w.active && !w.finished)
+            WarpHot &h = hot[widx];
+            if (h.active && !h.finished)
                 --liveWarps;
-            w.active = false;
-            w.finished = true;
-            ++w.epoch;
+            h.active = false;
+            h.finished = true;
+            ++warps[widx].epoch;
             freeWarpSlots.push_back(widx);
             updateIssuable(widx);
         }
@@ -238,7 +243,7 @@ SmCore::evictKernel(KernelId kid)
             list.erase(
                 std::remove_if(list.begin(), list.end(),
                                [&](std::uint16_t w) {
-                                   if (warps[w].active)
+                                   if (hot[w].active)
                                        return false;
                                    if (maskUsable)
                                        schedListMask[s] &=
@@ -250,6 +255,8 @@ SmCore::evictKernel(KernelId kid)
     }
     resident[kid] = 0;
     invalidateScanCache();
+    fuseBoundValid = false;
+    fuseRetryAt = 0;
 }
 
 unsigned
@@ -313,9 +320,8 @@ SmCore::completeLoadTransaction(std::uint16_t load_idx, Cycle now)
     WSL_ASSERT(load.valid && load.transLeft > 0,
                "completing an idle load entry");
     if (--load.transLeft == 0) {
-        WarpState &w = warps[load.warp];
-        if (w.epoch == load.epoch) {
-            w.pendingLong &= ~load.regMask;
+        if (warps[load.warp].epoch == load.epoch) {
+            hot[load.warp].pendingLong &= ~load.regMask;
             updateIssuable(load.warp);
             invalidateScanCache();  // a stalled warp may now be ready
         }
@@ -336,7 +342,7 @@ SmCore::maybeReleaseBarrier(CtaSlot &cta)
     if (unfinished == 0 || cta.barrierWaiting < unfinished)
         return;
     for (std::uint16_t widx : cta.warpIdxs) {
-        warps[widx].atBarrier = false;
+        hot[widx].atBarrier = false;
         updateIssuable(widx);
     }
     cta.barrierWaiting = 0;
@@ -356,10 +362,10 @@ SmCore::injectBarrierHangForTest()
         if (!cta.active)
             continue;
         for (std::uint16_t widx : cta.warpIdxs) {
-            WarpState &w = warps[widx];
-            if (!w.active || w.finished || w.atBarrier)
+            WarpHot &h = hot[widx];
+            if (!h.active || h.finished || h.atBarrier)
                 continue;
-            w.atBarrier = true;
+            h.atBarrier = true;
             ++cta.barrierWaiting;
             updateIssuable(widx);
         }
@@ -370,9 +376,9 @@ SmCore::injectBarrierHangForTest()
 void
 SmCore::finishWarp(std::uint16_t widx)
 {
-    WarpState &w = warps[widx];
-    WSL_ASSERT(w.active && !w.finished, "double finish");
-    w.finished = true;
+    WarpHot &h = hot[widx];
+    WSL_ASSERT(h.active && !h.finished, "double finish");
+    h.finished = true;
     updateIssuable(widx);
     --liveWarps;
     // Active-warp index: drop the warp from its scheduler list now so
@@ -384,15 +390,16 @@ SmCore::finishWarp(std::uint16_t widx)
         schedListMask[widx % cfg.numSchedulers] &=
             ~(std::uint64_t{1} << widx);
     invalidateScanCache();
-    CtaSlot &cta = ctas[w.ctaSlot];
-    if (w.atBarrier) {
-        w.atBarrier = false;
+    const int cta_slot = warps[widx].ctaSlot;
+    CtaSlot &cta = ctas[cta_slot];
+    if (h.atBarrier) {
+        h.atBarrier = false;
         WSL_ASSERT(cta.barrierWaiting > 0, "barrier underflow");
         --cta.barrierWaiting;
     }
     ++cta.warpsFinished;
     if (cta.warpsFinished == cta.warpsTotal)
-        completeCta(w.ctaSlot);
+        completeCta(cta_slot);
     else
         maybeReleaseBarrier(cta);
 }
@@ -402,9 +409,10 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
 {
     (void)now;
     WarpState &w = warps[widx];
-    WSL_ASSERT(w.ibuf > 0, "advancing without a buffered instruction");
-    --w.ibuf;
-    ++w.pc;
+    WarpHot &h = hot[widx];
+    WSL_ASSERT(h.ibuf > 0, "advancing without a buffered instruction");
+    --h.ibuf;
+    ++h.pc;
     // Reconverge lanes whose rejoin point has been reached. Entries
     // are independent (mask, rejoin-pc) pairs, not a nesting stack:
     // dense branch layouts can produce overlapping skip regions whose
@@ -413,23 +421,23 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
     // programs the match is always at the back and this degenerates to
     // the classic pop loop.)
     for (std::size_t d = w.divStack.size(); d-- > 0;) {
-        if (w.divStack[d].second == w.pc ||
-            (w.pc >= w.program->body.size() &&
-             w.divStack[d].second >= w.program->body.size())) {
-            w.activeMask |= w.divStack[d].first;
+        if (w.divStack[d].second == h.pc ||
+            (h.pc >= h.program->body.size() &&
+             w.divStack[d].second >= h.program->body.size())) {
+            h.activeMask |= w.divStack[d].first;
             w.divStack.erase(w.divStack.begin() +
                              static_cast<std::ptrdiff_t>(d));
         }
     }
-    if (w.pc >= w.program->body.size()) {
+    if (h.pc >= h.program->body.size()) {
         WSL_ASSERT(w.divStack.empty(),
                    "divergence must reconverge within one iteration");
-        w.pc = 0;
+        h.pc = 0;
         ++w.iter;
-        if (w.iter >= w.program->loopIters)
+        if (w.iter >= h.program->loopIters)
             finishWarp(widx);
     }
-    if (w.active && !w.finished && w.ibuf == 0 && !w.fetchPending)
+    if (h.active && !h.finished && h.ibuf == 0 && !w.fetchPending)
         fetchQueue.push({widx, w.epoch});
     // One recompute covers everything the issue may have changed for
     // this warp: i-buffer drain, barrier entry, or warp completion.
@@ -439,17 +447,17 @@ SmCore::advanceWarp(std::uint16_t widx, Cycle now)
 SmCore::IssueOutcome
 SmCore::tryIssue(std::uint16_t widx, unsigned sched, Cycle now)
 {
-    WarpState &w = warps[widx];
-    if (w.atBarrier)
+    WarpHot &h = hot[widx];
+    if (h.atBarrier)
         return IssueOutcome::Barrier;
-    if (w.ibuf == 0)
+    if (h.ibuf == 0)
         return IssueOutcome::Empty;
 
-    const Instruction &inst = w.program->body[w.pc];
+    const Instruction &inst = h.program->body[h.pc];
     const std::uint32_t touched = srcMaskOf(inst) | regBit(inst.dst);
-    if (touched & w.pendingLong)
+    if (touched & h.pendingLong)
         return IssueOutcome::MemWait;
-    if (touched & w.pendingShort)
+    if (touched & h.pendingShort)
         return IssueOutcome::ShortWait;
 
     switch (unitOf(inst.op)) {
@@ -468,7 +476,7 @@ SmCore::tryIssue(std::uint16_t widx, unsigned sched, Cycle now)
             // Structural backpressure from the memory system counts as
             // a long-memory-latency stall (the warp is blocked on the
             // memory system, not on a pipeline).
-            const CtaSlot &cta = ctas[w.ctaSlot];
+            const CtaSlot &cta = ctas[warps[widx].ctaSlot];
             const unsigned trans = cta.params->mem.transactionsPerAccess;
             if (outRequests.size() + trans > cfg.l1MissQueue * 2)
                 return IssueOutcome::MemWait;
@@ -485,13 +493,13 @@ SmCore::tryIssue(std::uint16_t widx, unsigned sched, Cycle now)
         break;
     }
 
-    executeIssue(w, inst, widx, sched, now);
+    executeIssue(h, warps[widx], inst, widx, sched, now);
     advanceWarp(widx, now);
     return IssueOutcome::Issued;
 }
 
 void
-SmCore::executeIssue(WarpState &w, const Instruction &inst,
+SmCore::executeIssue(WarpHot &h, WarpState &w, const Instruction &inst,
                      std::uint16_t widx, unsigned sched, Cycle now)
 {
     CtaSlot &cta = ctas[w.ctaSlot];
@@ -505,7 +513,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
     scanCache[sched].valid = false;
 
     const unsigned live_lanes =
-        static_cast<unsigned>(std::popcount(w.activeMask));
+        static_cast<unsigned>(std::popcount(h.activeMask));
     ++smStats.warpInstsIssued;
     smStats.threadInstsIssued += live_lanes;
     ++smStats.kernelWarpInsts[w.kernel];
@@ -521,7 +529,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
         aluBusyUntil[sched] = now + cfg.aluInitiation;
         smStats.aluBusyCycles += cfg.aluInitiation;
         if (dst_bit) {
-            w.pendingShort |= dst_bit;
+            h.pendingShort |= dst_bit;
             wbWheel[(now + cfg.aluLatency) % wheelSize].push_back(
                 {widx, w.epoch, dst_bit});
             ++wbWheelCount;
@@ -533,7 +541,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
         sfuBusyUntil = now + cfg.sfuInitiation;
         smStats.sfuBusyCycles += cfg.sfuInitiation;
         if (dst_bit) {
-            w.pendingShort |= dst_bit;
+            h.pendingShort |= dst_bit;
             wbWheel[(now + cfg.sfuLatency) % wheelSize].push_back(
                 {widx, w.epoch, dst_bit});
             ++wbWheelCount;
@@ -555,7 +563,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
             ldstBusyUntil = now + cfg.ldstInitiation * conflict;
             ++smStats.shmAccesses;
             if (dst_bit) {
-                w.pendingShort |= dst_bit;
+                h.pendingShort |= dst_bit;
                 wbWheel[(now + cfg.shmLatency * conflict) % wheelSize]
                     .push_back({widx, w.epoch, dst_bit});
                 ++wbWheelCount;
@@ -571,7 +579,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                             static_cast<std::int8_t>(w.kernel),
                             static_cast<std::uint32_t>(now)};
             ++activeLoads;
-            w.pendingLong |= dst_bit;
+            h.pendingLong |= dst_bit;
             for (unsigned t = 0; t < trans; ++t) {
                 const Addr line = lineAddr(genAddress(
                     params, cta.kernelBase, cta.ctaGlobalId, w.warpInCta,
@@ -612,7 +620,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
       }
       case UnitKind::None: {
         if (inst.op == Opcode::Bar) {
-            w.atBarrier = true;
+            h.atBarrier = true;
             ++cta.barrierWaiting;
             maybeReleaseBarrier(cta);
         } else if (inst.op == Opcode::BraDiv) {
@@ -626,19 +634,19 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                      inst.divFraction256 + 128) / 256);
             if (take >= active) {
                 // Everyone skips: jump straight to the target.
-                w.pc = static_cast<unsigned>(inst.branchTarget) - 1;
+                h.pc = static_cast<unsigned>(inst.branchTarget) - 1;
             } else if (take > 0) {
-                const std::uint64_t h =
+                const std::uint64_t hash =
                     mixHash(static_cast<std::uint64_t>(
                                 cta.ctaGlobalId) * 64 + w.warpInCta,
-                            w.iter * 131 + w.pc);
+                            w.iter * 131 + h.pc);
                 std::uint32_t taken = 0;
                 unsigned picked = 0;
                 const unsigned rot =
-                    static_cast<unsigned>(h & 31);
+                    static_cast<unsigned>(hash & 31);
                 for (unsigned l = 0; l < 32 && picked < take; ++l) {
                     const unsigned lane = (l + rot) & 31;
-                    if (w.activeMask & (1u << lane)) {
+                    if (h.activeMask & (1u << lane)) {
                         taken |= 1u << lane;
                         ++picked;
                     }
@@ -646,7 +654,7 @@ SmCore::executeIssue(WarpState &w, const Instruction &inst,
                 w.divStack.emplace_back(
                     taken,
                     static_cast<std::uint16_t>(inst.branchTarget));
-                w.activeMask &= ~taken;
+                h.activeMask &= ~taken;
             }
         }
         break;
@@ -784,7 +792,7 @@ SmCore::runScheduler(unsigned sched, Cycle now)
     } else {
 
     auto consider = [&](std::uint16_t widx) -> bool {
-        WarpState &w = warps[widx];
+        const WarpHot &w = hot[widx];
         if (!w.active || w.finished)
             return false;
         // The masks prove what tryIssue would return without touching
@@ -809,7 +817,8 @@ SmCore::runScheduler(unsigned sched, Cycle now)
         }
         ++counts[static_cast<unsigned>(outcome)];
         if (attribute)
-            ++kernelCounts[w.kernel][static_cast<unsigned>(outcome)];
+            ++kernelCounts[warps[widx].kernel]
+                          [static_cast<unsigned>(outcome)];
         ++scanned;
         return false;
     };
@@ -818,8 +827,8 @@ SmCore::runScheduler(unsigned sched, Cycle now)
         // Greedy-then-oldest: stick with the last issued warp, then
         // fall back to the oldest ready warp.
         const int greedy = lastIssued[sched];
-        if (greedy >= 0 && warps[greedy].active &&
-            !warps[greedy].finished &&
+        if (greedy >= 0 && hot[greedy].active &&
+            !hot[greedy].finished &&
             warps[greedy].kernel != invalidKernel) {
             // Only if it is still on this scheduler's list.
             if ((greedy % static_cast<int>(cfg.numSchedulers)) ==
@@ -913,8 +922,9 @@ SmCore::runFetch(Cycle now)
         const FetchEntry entry = fetchQueue.front();
         fetchQueue.pop();
         WarpState &w = warps[entry.warp];
-        if (!w.active || w.finished || w.epoch != entry.epoch ||
-            w.fetchPending || w.ibuf > 0) {
+        const WarpHot &h = hot[entry.warp];
+        if (!h.active || h.finished || w.epoch != entry.epoch ||
+            w.fetchPending || h.ibuf > 0) {
             continue;  // stale entry
         }
         const KernelParams &params = *ctas[w.ctaSlot].params;
@@ -964,9 +974,8 @@ SmCore::tick(Cycle now)
         auto &wb = wbWheel[now % wheelSize];
         wbWheelCount -= static_cast<unsigned>(wb.size());
         for (const WbEntry &e : wb) {
-            WarpState &w = warps[e.warp];
-            if (w.epoch == e.epoch) {
-                w.pendingShort &= ~e.regMask;
+            if (warps[e.warp].epoch == e.epoch) {
+                hot[e.warp].pendingShort &= ~e.regMask;
                 updateIssuable(e.warp);
                 invalidateScanCache();  // a ShortWait warp may be ready
             }
@@ -980,10 +989,11 @@ SmCore::tick(Cycle now)
         fetchWheelCount -= static_cast<unsigned>(fetch_done.size());
         for (const FetchEntry &e : fetch_done) {
             WarpState &w = warps[e.warp];
-            if (w.active && !w.finished && w.epoch == e.epoch &&
+            WarpHot &h = hot[e.warp];
+            if (h.active && !h.finished && w.epoch == e.epoch &&
                 w.fetchPending && w.fetchReadyAt <= now) {
                 w.fetchPending = false;
-                w.ibuf = cfg.ibufferEntries;
+                h.ibuf = cfg.ibufferEntries;
                 updateIssuable(e.warp);
                 invalidateScanCache();  // Empty flips to issuable
             }
@@ -1108,6 +1118,69 @@ SmCore::skipTick(Cycle now, Cycle cycles)
             chargeStall(memo.kind, memo.culprit, cycles);
         }
     }
+}
+
+Cycle
+SmCore::fuseQuietUntil(Cycle now)
+{
+    if (!outRequests.empty())
+        return now;  // staged traffic needs merge this cycle
+    if (liveWarps == 0) {
+        // No warp can issue, so no new traffic and no CTA completion
+        // until a launch (which invalidates the memo). In-flight
+        // fills and writebacks are SM-local.
+        return neverCycle;
+    }
+    if (fuseBoundValid && fuseBoundAt > now)
+        return fuseBoundAt;
+    if (now < fuseRetryAt)
+        return now;  // last scan proved the bound too tight to fuse
+
+    constexpr Cycle retryBackoff = 32;
+    Cycle bound = neverCycle;
+    for (const CtaSlot &cta : ctas) {
+        if (!cta.active)
+            continue;
+        // The CTA completes only when its *last* warp wraps up, so its
+        // completion bound is the max over member warps; each warp's
+        // remaining-issue count is the distance to the end of the
+        // current iteration plus full minimum-length iterations.
+        std::uint64_t max_remain = 0;
+        for (std::uint16_t widx : cta.warpIdxs) {
+            const WarpHot &h = hot[widx];
+            if (!h.active || h.finished)
+                continue;
+            const KernelProgram &prog = *h.program;
+            if (!prog.distanceTablesReady() || h.pc >= prog.body.size()) {
+                fuseRetryAt = now + retryBackoff;
+                return now;  // hand-built program: no-fuse fallback
+            }
+            const std::uint32_t dm = prog.distToMem[h.pc];
+            if (dm != KernelProgram::distInf) {
+                if (dm <= 1) {
+                    // Next issue may be a global-memory op; it could
+                    // be stalled for a while, so back off rescans.
+                    fuseRetryAt = now + retryBackoff;
+                    return now;
+                }
+                bound = std::min(bound, now + dm - 1);
+            }
+            const WarpState &w = warps[widx];
+            const std::uint64_t iters_left =
+                prog.loopIters > w.iter + 1
+                    ? prog.loopIters - w.iter - 1 : 0;
+            const std::uint64_t remain =
+                prog.distToEnd[h.pc] + iters_left * prog.minIterLen;
+            max_remain = std::max(max_remain, remain);
+        }
+        if (max_remain != 0)
+            bound = std::min(bound, now + max_remain - 1);
+    }
+    fuseBoundAt = bound;
+    fuseBoundValid = true;
+    if (bound <= now + 1)
+        fuseRetryAt = now + retryBackoff;
+    return bound;
 }
 
 } // namespace wsl

@@ -24,6 +24,7 @@
 #include "mem/request.hh"
 #include "sm/resources.hh"
 #include "sm/warp.hh"
+#include "sm/warp_soa.hh"
 
 namespace wsl {
 
@@ -111,6 +112,23 @@ class SmCore
      * before nextEventAt(now).
      */
     void skipTick(Cycle now, Cycle cycles);
+
+    /**
+     * Fused-epoch quiet bound: the first absolute cycle that must NOT
+     * be inside a fused multi-cycle window starting at `now`. For
+     * every cycle c in [now, fuseQuietUntil(now)) this SM provably
+     * pushes no interconnect traffic and completes no CTA, so the GPU
+     * may run those cycles as consecutive SmCore::tick() calls with no
+     * per-cycle glue (merge, deliver, dispatch, CTA drain) in between.
+     * Derived from the programs' static issue-distance tables: a warp
+     * issues at most one instruction per cycle, so a warp at pc cannot
+     * reach a global-memory op before now + distToMem[pc] - 1 nor
+     * finish before its remaining-issue count elapses. Returns `now`
+     * (no fuse) when outgoing requests are pending, a warp's next
+     * instruction is a memory op, or a program lacks distance tables.
+     * Not const: memoizes the computed bound (engine-only state).
+     */
+    Cycle fuseQuietUntil(Cycle now);
 
     // ---- Memory-system interface (driven by the GPU object) ----
 
@@ -254,8 +272,9 @@ class SmCore
     void runScheduler(unsigned sched, Cycle now);
     void chargeStall(StallKind kind, int culprit, Cycle count = 1);
     IssueOutcome tryIssue(std::uint16_t widx, unsigned sched, Cycle now);
-    void executeIssue(WarpState &warp, const Instruction &inst,
-                      std::uint16_t widx, unsigned sched, Cycle now);
+    void executeIssue(WarpHot &hw, WarpState &warp,
+                      const Instruction &inst, std::uint16_t widx,
+                      unsigned sched, Cycle now);
     void advanceWarp(std::uint16_t widx, Cycle now);
     void finishWarp(std::uint16_t widx);
     void maybeReleaseBarrier(CtaSlot &cta);
@@ -280,6 +299,10 @@ class SmCore
     Rng rng;
 
     ResourcePool resourcePool;
+    /** Scheduler-hot warp rows, one 32-byte entry per slot: the per-SM
+     *  arena the readiness scan walks (see sm/warp_soa.hh). Parallel
+     *  to `warps`, which keeps the cold remainder. */
+    std::vector<WarpHot> hot;
     std::vector<WarpState> warps;
     std::vector<CtaSlot> ctas;
     std::vector<std::uint16_t> freeWarpSlots;
@@ -360,6 +383,18 @@ class SmCore
     // Engine-meta counters (see the accessors above).
     std::uint64_t engineScanMemoHits = 0;
     std::uint64_t engineSchedScans = 0;
+
+    // Fused-epoch bound memo (engine-only; never feeds simulated
+    // state). The memoized absolute bound stays a valid lower bound as
+    // warps advance — execution can only be slower than the 1
+    // issue/cycle the bound assumes — so it lives until a CTA launch
+    // or eviction introduces warps it never saw. fuseRetryAt throttles
+    // recomputation while the bound is too tight to fuse (e.g. a warp
+    // parked on a memory instruction), so failed fuse attempts don't
+    // re-scan every warp every cycle.
+    Cycle fuseBoundAt = 0;
+    bool fuseBoundValid = false;
+    Cycle fuseRetryAt = 0;
 
     std::vector<KernelId> ctaCompletions;
     SmStats smStats;

@@ -1,6 +1,10 @@
 /**
  * @file
- * Per-warp and per-CTA execution state resident in an SM.
+ * Per-warp and per-CTA execution state resident in an SM. The
+ * scheduler-hot fields (pc, scoreboard masks, liveness flags, lane
+ * mask, i-buffer depth) live in the parallel WarpHot arena
+ * (sm/warp_soa.hh); WarpState here is the cold remainder the issue and
+ * fetch paths consult occasionally.
  */
 
 #ifndef WSL_SM_WARP_HH
@@ -16,14 +20,12 @@
 namespace wsl {
 
 /**
- * Architectural + microarchitectural state of one resident warp. Warps
- * occupy fixed slots; `epoch` invalidates in-flight writebacks when a
- * slot is recycled.
+ * Cold per-warp state. Warps occupy fixed slots; `epoch` invalidates
+ * in-flight writebacks when a slot is recycled. The hot fields of the
+ * same slot are WarpHot in SmCore's arena at the same index.
  */
 struct WarpState
 {
-    bool active = false;    //!< slot holds a live warp
-    bool finished = false;  //!< warp ran to completion (slot not yet freed)
     std::uint32_t epoch = 0;
 
     int ctaSlot = -1;
@@ -31,37 +33,17 @@ struct WarpState
     unsigned warpInCta = 0;
     unsigned activeThreads = warpSize;
 
-    // Program position.
-    const KernelProgram *program = nullptr;
-    unsigned pc = 0;    //!< index into program body
     unsigned iter = 0;  //!< completed loop iterations
 
     // Front end.
-    unsigned ibuf = 0;         //!< decoded instructions buffered
     bool fetchPending = false;
     Cycle fetchReadyAt = 0;
 
-    // Synchronization.
-    bool atBarrier = false;
-
-    // SIMT divergence: currently active lanes and the reconvergence
-    // stack of (suspended-lane mask, rejoin pc) entries.
-    std::uint32_t activeMask = 0xffffffffu;
+    // SIMT divergence reconvergence stack of (suspended-lane mask,
+    // rejoin pc) entries; the live lane mask itself is hot state.
     std::vector<std::pair<std::uint32_t, std::uint16_t>> divStack;
 
-    // Scoreboard: registers with in-flight writes. "Long" = global
-    // loads (drives the Long Memory Latency stall class), "short" =
-    // ALU/SFU/shared-memory results.
-    std::uint32_t pendingShort = 0;
-    std::uint32_t pendingLong = 0;
-
     std::uint64_t age = 0;  //!< global launch order (GTO oldest-first)
-
-    bool
-    issuable() const
-    {
-        return active && !finished && !atBarrier && ibuf > 0;
-    }
 
     /**
      * Recycle the slot for a new warp: every field back to its
@@ -71,28 +53,19 @@ struct WarpState
      * CTA launch allocates nothing — `w = WarpState{}` would free and
      * re-grow it every time, allocator churn the thread-sharded tick
      * engine turns into contention). Any field added above must be
-     * restored here too.
+     * restored here too, and hot fields in WarpHot::reset().
      */
     void
     reset()
     {
-        active = false;
-        finished = false;
         ctaSlot = -1;
         kernel = invalidKernel;
         warpInCta = 0;
         activeThreads = warpSize;
-        program = nullptr;
-        pc = 0;
         iter = 0;
-        ibuf = 0;
         fetchPending = false;
         fetchReadyAt = 0;
-        atBarrier = false;
-        activeMask = 0xffffffffu;
         divStack.clear();
-        pendingShort = 0;
-        pendingLong = 0;
         age = 0;
     }
 };

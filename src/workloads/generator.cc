@@ -181,6 +181,7 @@ buildProgram(const KernelParams &params)
         prog.body.push_back(bar);
     }
     prog.validate();
+    prog.computeDistanceTables();
     return prog;
 }
 

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the fused multi-cycle epoch engine: a fused window may
+ * never run past the next interaction — the gates in
+ * Gpu::fuseHorizon() must split the fuse at exactly the cycle a
+ * policy decision, telemetry sample, invariant audit, or watchdog
+ * deadline is due, so every observable event fires on the same cycle
+ * the serial per-cycle engine would have fired it. The headline
+ * property is bit-identity: MM and LBM micro-windows under the fused
+ * engine (clock skipping on) at 1/2/4 tick threads must match the
+ * per-cycle serial reference counter for counter. Also covers the
+ * SoA hot-state layout: scheduler-scan determinism across engines
+ * and the auditor's bitmask-vs-rescan cross-check at cadence 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "check/auditor.hh"
+#include "check/sim_error.hh"
+#include "core/policies.hh"
+#include "core/warped_slicer.hh"
+#include "gpu/gpu.hh"
+#include "obs/decision_log.hh"
+#include "obs/engine_profiler.hh"
+#include "sm/sm_core.hh"
+#include "telemetry/telemetry.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wsl;
+
+namespace {
+
+/** Exact counter-level equality via the canonical field lists. */
+void
+expectStatsEqual(const GpuStats &a, const GpuStats &b)
+{
+    SmStats::forEachField([&](const char *name, auto member) {
+        EXPECT_EQ(a.*member, b.*member) << "SmStats field " << name;
+    });
+    PartitionStats::forEachField([&](const char *name, auto member) {
+        EXPECT_EQ(a.*member, b.*member)
+            << "PartitionStats field " << name;
+    });
+}
+
+struct FusedRun
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    GpuStats stats;
+    Cycle fusedCycles = 0;
+    std::uint64_t fusedEpochs = 0;
+};
+
+/** Run `bench` alone for `window` cycles; `skip` selects the
+ *  production engine (clock skipping + fused epochs) vs the per-cycle
+ *  reference. */
+FusedRun
+soloWindow(const char *bench, Cycle window, bool skip,
+           unsigned tick_threads)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.clockSkip = skip;
+    cfg.tickThreads = tick_threads;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    EngineProfiler prof;
+    gpu.attachEngineProfiler(&prof);
+    const KernelId kid = gpu.launchKernel(benchmark(bench));
+    gpu.run(window);
+    prof.harvest(gpu);
+    FusedRun out;
+    out.cycles = gpu.cycle();
+    out.insts = gpu.kernelThreadInsts(kid);
+    out.stats = gpu.collectStats();
+    out.fusedCycles = prof.fusedCycles();
+    out.fusedEpochs = prof.fusedEpochs();
+    return out;
+}
+
+/** A barrier-per-iteration kernel whose grid is fully resident and
+ *  effectively never finishes — the deadlock-injection substrate. */
+KernelParams
+hangKernel()
+{
+    KernelParams k;
+    k.name = "FUSE_HANG";
+    k.gridDim = 32;
+    k.blockDim = 64;
+    k.regsPerThread = 16;
+    k.mix = {.alu = 6, .sfu = 1, .ldGlobal = 2, .stGlobal = 0,
+             .ldShared = 0, .stShared = 0, .depDist = 4,
+             .barrierPerIter = true};
+    k.loopIters = 1'000'000;
+    k.mem = {MemPattern::Tile, 4096, 1};
+    k.ifetchMissRate = 0.0;
+    return k;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The fuse engages, and its cycles are accounted for
+// ---------------------------------------------------------------------
+
+TEST(FusedEpoch, EngagesOnComputeBoundWorkload)
+{
+    // MM is compute-bound: long stretches with no memory traffic due,
+    // exactly what fuseQuietUntil() exists to exploit. If this stops
+    // fusing, every identity test below passes vacuously.
+    const FusedRun r = soloWindow("MM", 20'000, true, 1);
+    EXPECT_GT(r.fusedEpochs, 0u);
+    EXPECT_GT(r.fusedCycles, 0u);
+    EXPECT_LE(r.fusedCycles, r.cycles);
+}
+
+TEST(FusedEpoch, ReferenceEngineNeverFuses)
+{
+    const FusedRun r = soloWindow("MM", 20'000, false, 1);
+    EXPECT_EQ(r.fusedEpochs, 0u);
+    EXPECT_EQ(r.fusedCycles, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity vs the per-cycle serial reference
+// ---------------------------------------------------------------------
+
+TEST(FusedEpoch, MmBitIdenticalToSerialAtEveryTickCount)
+{
+    const Cycle window = 8'000;
+    const FusedRun ref = soloWindow("MM", window, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const FusedRun fused = soloWindow("MM", window, true, threads);
+        EXPECT_EQ(fused.cycles, ref.cycles) << threads << " threads";
+        EXPECT_EQ(fused.insts, ref.insts) << threads << " threads";
+        expectStatsEqual(ref.stats, fused.stats);
+        EXPECT_GT(fused.fusedCycles, 0u) << threads << " threads";
+    }
+}
+
+TEST(FusedEpoch, LbmBitIdenticalToSerialAtEveryTickCount)
+{
+    // LBM is memory-stalled: the fuse is bounded by distToMem almost
+    // immediately, so this window exercises the no-fuse and tiny-fuse
+    // paths plus the retry backoff rather than long quiet stretches.
+    const Cycle window = 8'000;
+    const FusedRun ref = soloWindow("LBM", window, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        const FusedRun fused = soloWindow("LBM", window, true, threads);
+        EXPECT_EQ(fused.cycles, ref.cycles) << threads << " threads";
+        EXPECT_EQ(fused.insts, ref.insts) << threads << " threads";
+        expectStatsEqual(ref.stats, fused.stats);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mid-epoch horizon events split the fuse at the exact cycle
+// ---------------------------------------------------------------------
+
+TEST(FusedEpoch, AuditCadenceOneDisablesFusingEntirely)
+{
+    // With an audit due every cycle there is never a quiet window; the
+    // fuse gate must yield to the auditor instead of batching past it.
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.clockSkip = true;
+    cfg.auditCadence = 1;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    EngineProfiler prof;
+    gpu.attachEngineProfiler(&prof);
+    gpu.launchKernel(benchmark("MM"));
+    EXPECT_NO_THROW(gpu.run(6'000));
+    prof.harvest(gpu);
+    EXPECT_EQ(prof.fusedCycles(), 0u);
+    ASSERT_NE(gpu.integrityAuditor(), nullptr);
+    EXPECT_GT(gpu.integrityAuditor()->auditsRun(), 0u);
+}
+
+TEST(FusedEpoch, AuditsFireAtExactSerialCycles)
+{
+    // A cadence that is neither a divisor nor a multiple of anything
+    // the workload does: the fused engine must stop each window at
+    // nextAuditAt() and run the same number of audits, leaving the
+    // auditor's schedule at the same next cycle as the reference.
+    auto run = [](bool skip) {
+        GpuConfig cfg = GpuConfig::baseline();
+        cfg.clockSkip = skip;
+        cfg.auditCadence = 677;
+        Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+        gpu.launchKernel(benchmark("MM"));
+        gpu.run(20'000);
+        const Auditor *aud = gpu.integrityAuditor();
+        return std::pair<std::uint64_t, Cycle>(
+            aud->auditsRun(), aud->nextAuditAt());
+    };
+    const auto [ref_audits, ref_next] = run(false);
+    const auto [fused_audits, fused_next] = run(true);
+    EXPECT_GT(ref_audits, 10u);
+    EXPECT_EQ(fused_audits, ref_audits);
+    EXPECT_EQ(fused_next, ref_next);
+}
+
+TEST(FusedEpoch, TelemetrySamplesAtExactSerialCycles)
+{
+    // Interval 703 (prime, no relation to any engine constant): each
+    // sample must land on the same cycle with the same deltas as the
+    // per-cycle reference — a fuse that overshoots the sample point by
+    // even one cycle shifts an interval boundary and fails here.
+    auto run = [](bool skip, std::vector<TelemetryInterval> &out) {
+        GpuConfig cfg = GpuConfig::baseline();
+        cfg.clockSkip = skip;
+        cfg.tickThreads = skip ? 2 : 1;
+        Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+        TelemetryConfig tconf;
+        tconf.interval = 703;
+        TelemetrySampler sampler(tconf);
+        gpu.attachTelemetry(&sampler);
+        gpu.launchKernel(benchmark("MM"));
+        gpu.run(15'000);
+        sampler.finish(gpu);
+        out = sampler.intervals();
+    };
+    std::vector<TelemetryInterval> ref, fused;
+    run(false, ref);
+    run(true, fused);
+    ASSERT_GT(ref.size(), 10u);
+    ASSERT_EQ(fused.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(fused[i].start, ref[i].start) << "interval " << i;
+        EXPECT_EQ(fused[i].end, ref[i].end) << "interval " << i;
+        expectStatsEqual(ref[i].gpu, fused[i].gpu);
+    }
+}
+
+TEST(FusedEpoch, PolicyDecisionsApplyAtExactSerialCycles)
+{
+    // The Warped-Slicer profiling schedule is cycle-exact: warmup and
+    // profile windows end at fixed cycles, and each applied
+    // repartition records the cycle it happened. The fused engine must
+    // reproduce the decision log cycle-for-cycle.
+    auto run = [](bool skip, DecisionLog &log) {
+        GpuConfig cfg = GpuConfig::baseline();
+        cfg.clockSkip = skip;
+        cfg.tickThreads = skip ? 2 : 1;
+        WarpedSlicerOptions opts;
+        opts.warmup = 2000;
+        opts.profileLength = 2000;
+        opts.monitorWindow = 2000;
+        opts.reprofileCooldown = 50'000;
+        auto policy = std::make_unique<WarpedSlicerPolicy>(opts);
+        policy->attachDecisionLog(&log);
+        Gpu gpu(cfg, std::move(policy));
+        gpu.launchKernel(benchmark("IMG"), 10'000'000);
+        gpu.launchKernel(benchmark("NN"), 10'000'000);
+        gpu.run(12'000);
+    };
+    DecisionLog ref, fused;
+    run(false, ref);
+    run(true, fused);
+    ASSERT_GE(ref.entries().size(), 1u);
+    ASSERT_EQ(fused.entries().size(), ref.entries().size());
+    for (std::size_t i = 0; i < ref.entries().size(); ++i) {
+        EXPECT_EQ(fused.entries()[i].cycle, ref.entries()[i].cycle);
+        EXPECT_EQ(fused.entries()[i].chosenCtas,
+                  ref.entries()[i].chosenCtas);
+        EXPECT_EQ(fused.entries()[i].spatial, ref.entries()[i].spatial);
+    }
+}
+
+TEST(FusedEpoch, WatchdogDeadlineBoundsFusedWindows)
+{
+    // Inject a lost-wakeup barrier hang, then run the fused engine: no
+    // window may be fused past lastProgress + watchdogCycles, so
+    // detection stays bounded exactly as in the per-cycle engine.
+    constexpr Cycle wd = 300;
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.clockSkip = true;
+    cfg.watchdogCycles = wd;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(hangKernel());
+    gpu.run(2'000);  // get every CTA resident and running
+    ASSERT_FALSE(gpu.allKernelsDone());
+    for (unsigned s = 0; s < gpu.numSms(); ++s)
+        gpu.sm(s).injectBarrierHangForTest();
+    const Cycle injected = gpu.cycle();
+    try {
+        gpu.run(1'000'000);
+        FAIL() << "watchdog never fired on a parked machine";
+    } catch (const DeadlockError &e) {
+        EXPECT_GE(e.stalledFor(), wd);
+        EXPECT_LE(e.cycle(), injected + wd + 5'000);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SoA hot-state layout
+// ---------------------------------------------------------------------
+
+TEST(SoaHotState, SchedulerScanIsDeterministicAcrossEngines)
+{
+    // The SoA scheduler scan (readiness bitmasks over WarpHot arrays)
+    // must issue the same instruction stream no matter which engine
+    // drives it: two identical runs agree exactly, and the per-cycle
+    // reference run agrees with both.
+    const Cycle window = 8'000;
+    const FusedRun a = soloWindow("IMG", window, true, 1);
+    const FusedRun b = soloWindow("IMG", window, true, 1);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    expectStatsEqual(a.stats, b.stats);
+    const FusedRun ref = soloWindow("IMG", window, false, 1);
+    EXPECT_EQ(a.cycles, ref.cycles);
+    EXPECT_EQ(a.insts, ref.insts);
+    expectStatsEqual(ref.stats, a.stats);
+}
+
+TEST(SoaHotState, AuditorBitmaskRescanPassesAtMaxCadence)
+{
+    // The auditor's readiness-bitmask check rebuilds every mask from a
+    // legacy per-warp rescan of the SoA hot arrays and compares. At
+    // cadence 1 this runs after every single cycle of a mixed co-run —
+    // any divergence between the split hot/cold state and the masks
+    // throws InvariantViolation.
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.clockSkip = true;
+    cfg.auditCadence = 1;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark("MM"), 200'000);
+    gpu.launchKernel(benchmark("LBM"), 200'000);
+    EXPECT_NO_THROW(gpu.run(5'000));
+    ASSERT_NE(gpu.integrityAuditor(), nullptr);
+    // Cadence 1 = an audit on essentially every simulated cycle (the
+    // run may end before the window when the instruction targets are
+    // hit, and a handful of fully idle cycles may still bulk-skip).
+    EXPECT_GT(gpu.cycle(), 1'000u);
+    EXPECT_GE(gpu.integrityAuditor()->auditsRun() + 8, gpu.cycle());
+}

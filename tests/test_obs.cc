@@ -489,7 +489,10 @@ TEST(ObsProfiler, CountsTicksAndAttributesHorizons)
     prof.harvest(gpu);
 
     EXPECT_GT(prof.ticks(), 0u);
-    EXPECT_EQ(gpu.cycle(), prof.ticks() + prof.skippedCycles());
+    // Every simulated cycle is either a full epoch, part of a bulk
+    // skip, or part of a fused multi-cycle epoch.
+    EXPECT_EQ(gpu.cycle(), prof.ticks() + prof.skippedCycles() +
+                               prof.fusedCycles());
     std::uint64_t caps = 0;
     for (unsigned c = 0;
          c < static_cast<unsigned>(HorizonCap::NumCaps); ++c)

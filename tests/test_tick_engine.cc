@@ -179,6 +179,84 @@ TEST(ComposeTickThreads, ComposedCountNeverOversubscribes)
     }
 }
 
+TEST(ComposeTickThreads, ClampNeverLeavesStarvedPool)
+{
+    // A clamp that would hand a run a starved pool (fewer than 3
+    // threads, where dispatch + barrier cost beats the sharding win)
+    // must degrade the whole way to the serial engine instead. The
+    // composition may return the full request (it fit), the serial
+    // engine, or a pool of at least 3 threads — never a clamped 2.
+    for (unsigned jobs : {2u, 3u, 4u, 8u, 64u}) {
+        for (unsigned tick : {2u, 4u, 8u}) {
+            const unsigned got = composeTickThreads(jobs, tick);
+            EXPECT_TRUE(got == tick || got == 1u || got >= 3u)
+                << "starved pool: jobs=" << jobs << " tick=" << tick
+                << " -> " << got;
+        }
+    }
+}
+
+TEST(ComposeTickThreads, DegradationsAreCounted)
+{
+    // jobs=4096 saturates any real machine, so the request must
+    // degrade to serial and the degradation counter (exported through
+    // the registry as wsl_tick_threads_degraded) must tick up.
+    const std::uint64_t before = tickThreadDegradations();
+    EXPECT_EQ(composeTickThreads(4096, 8), 1u);
+    EXPECT_GT(tickThreadDegradations(), before);
+    // Untouched requests do not count as degradations.
+    const std::uint64_t mid = tickThreadDegradations();
+    EXPECT_EQ(composeTickThreads(1, 4), 4u);
+    EXPECT_EQ(tickThreadDegradations(), mid);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive engine selection (tickThreads = auto) and the dc preset
+// ---------------------------------------------------------------------
+
+TEST(AutoTickThreads, ScalesWithWorkAndHardware)
+{
+    // One pool thread per ~16 SMs, capped by the hardware, and never a
+    // 1-thread pool (that is just the serial engine with overhead).
+    EXPECT_EQ(GpuConfig::autoTickThreads(128, 8), 8u);
+    EXPECT_EQ(GpuConfig::autoTickThreads(128, 16), 8u);
+    EXPECT_EQ(GpuConfig::autoTickThreads(64, 8), 4u);
+    EXPECT_EQ(GpuConfig::autoTickThreads(64, 2), 2u);
+    // Too little work or too little hardware: serial engine.
+    EXPECT_EQ(GpuConfig::autoTickThreads(16, 8), 1u);
+    EXPECT_EQ(GpuConfig::autoTickThreads(128, 1), 1u);
+    EXPECT_EQ(GpuConfig::autoTickThreads(128, 0), 1u);
+}
+
+TEST(AutoTickThreads, GpuResolvesSentinelBeforeRunning)
+{
+    GpuConfig cfg = GpuConfig::baseline();
+    cfg.tickThreads = GpuConfig::tickThreadsAuto;
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    // The sentinel never survives construction: the resolved config is
+    // a concrete thread count consistent with this host.
+    const unsigned resolved = gpu.config().tickThreads;
+    EXPECT_NE(resolved, GpuConfig::tickThreadsAuto);
+    EXPECT_EQ(resolved,
+              GpuConfig::autoTickThreads(
+                  cfg.numSms, std::thread::hardware_concurrency()));
+    gpu.launchKernel(benchmark("MM"));
+    EXPECT_NO_THROW(gpu.run(500));
+}
+
+TEST(DcPreset, ValidatesAndRunsAWindow)
+{
+    GpuConfig cfg = GpuConfig::datacenter();
+    EXPECT_EQ(cfg.numSms, 128u);
+    EXPECT_EQ(cfg.numMemPartitions, 32u);
+    EXPECT_NO_THROW(cfg.validate());
+    Gpu gpu(cfg, std::make_unique<LeftOverPolicy>());
+    gpu.launchKernel(benchmark("MM"));
+    EXPECT_NO_THROW(gpu.run(300));
+    EXPECT_LE(gpu.cycle(), 300u);
+    EXPECT_GT(gpu.collectStats().warpInstsIssued, 0u);
+}
+
 // ---------------------------------------------------------------------
 // InterconnectStage ordered merge
 // ---------------------------------------------------------------------

@@ -65,6 +65,7 @@ struct Options
     std::string policy = "dynamic";
     SchedulerKind sched = SchedulerKind::Gto;
     bool large = false;
+    std::string preset;  //!< baseline|large|dc ("" = --large/baseline)
     bool noSkip = false;  //!< force the per-cycle reference loop
     Cycle auditCadence = 0;    //!< 0 = integrity audits off
     Cycle watchdogCycles = 0;  //!< 0 = no-progress watchdog off
@@ -90,12 +91,15 @@ usage(const char *argv0)
                  "usage: %s list | solo BENCH | curves BENCH | "
                  "corun B1 B2 [B3] | combos B1 B2 [options]\n"
                  "options: --cycles N --window N --ctas Q --large\n"
+                 "         --preset baseline|large|dc (dc: 128 SMs / "
+                 "32 partitions, engine-scaling machine)\n"
                  "         --policy leftover|spatial|even|dynamic|"
                  "fixed:Q1,Q2[,Q3]\n"
                  "         --sched gto|lrr --csv FILE --json FILE --trace FILE\n"
                  "         --stats-interval N --timeline FILE --jobs N\n"
-                 "         --tick-threads N (shard each run's SM/partition "
-                 "ticks over N threads; bit-identical)\n"
+                 "         --tick-threads N|auto (shard each run's "
+                 "SM/partition ticks over N threads; bit-identical; "
+                 "auto picks serial vs pooled from the machine)\n"
                  "         --no-skip (disable event-horizon clock "
                  "skipping; bit-identical, slower)\n"
                  "         --audit[=N] (run integrity audits every N "
@@ -134,6 +138,8 @@ parseArgs(int argc, char **argv)
                                         : SchedulerKind::Gto;
         else if (arg == "--large")
             opt.large = true;
+        else if (arg == "--preset")
+            opt.preset = next();
         else if (arg == "--no-skip")
             opt.noSkip = true;
         else if (arg == "--audit")
@@ -166,9 +172,12 @@ parseArgs(int argc, char **argv)
                 std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--jobs")
             opt.jobs = parseJobs(next().c_str(), "--jobs");
-        else if (arg == "--tick-threads")
+        else if (arg == "--tick-threads") {
+            const std::string v = next();
             opt.tickThreads =
-                parseJobs(next().c_str(), "--tick-threads");
+                v == "auto" ? GpuConfig::tickThreadsAuto
+                            : parseJobs(v.c_str(), "--tick-threads");
+        }
         else if (arg == "--csv")
             opt.csvPath = next();
         else if (arg == "--json")
@@ -184,8 +193,21 @@ parseArgs(int argc, char **argv)
 GpuConfig
 makeConfig(const Options &opt)
 {
-    GpuConfig cfg = opt.large ? GpuConfig::largeResource()
-                              : GpuConfig::baseline();
+    GpuConfig cfg;
+    if (!opt.preset.empty()) {
+        if (opt.preset == "baseline")
+            cfg = GpuConfig::baseline();
+        else if (opt.preset == "large")
+            cfg = GpuConfig::largeResource();
+        else if (opt.preset == "dc")
+            cfg = GpuConfig::datacenter();
+        else
+            fatal("unknown --preset '", opt.preset,
+                  "' (expected baseline, large, or dc)");
+    } else {
+        cfg = opt.large ? GpuConfig::largeResource()
+                        : GpuConfig::baseline();
+    }
     cfg.scheduler = opt.sched;
     cfg.clockSkip = !opt.noSkip;
     cfg.auditCadence = opt.auditCadence;
