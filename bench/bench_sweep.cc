@@ -6,11 +6,14 @@
  * on, off} x {tick-threads 1, `--tick-threads` N} — plus a ninth
  * pass with the full observability layer attached (engine profiler on
  * every job, decision log on the Dynamic jobs, registry exporters
- * exercised afterwards), verifies all nine result sets are
- * bit-identical, and reports the speedups. This is the gate that lets
- * clock skipping, batch parallelism, the intra-run parallel tick
- * engine, and the observability layer all claim "pure performance
- * toggle" / "pure observer".
+ * exercised afterwards) and two warm-start passes (one populating the
+ * process-wide SnapshotCache with each job's prefix snapshot, one
+ * replaying the whole matrix from those cached snapshots), verifies
+ * all eleven result sets are bit-identical, and reports the speedups.
+ * This is the gate that lets clock skipping, batch parallelism, the
+ * intra-run parallel tick engine, the observability layer, and the
+ * snapshot warm-start path all claim "pure performance toggle" /
+ * "pure observer".
  *
  * Usage: bench_sweep [--quick] [--jobs N] [--tick-threads N] [--out FILE]
  *   --quick   evaluate only the first 6 pairs (CI-sized)
@@ -36,10 +39,12 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/snapshot_cache.hh"
 #include "harness/solo_cache.hh"
 #include "obs/decision_log.hh"
 #include "obs/engine_profiler.hh"
 #include "obs/registry.hh"
+#include "snapshot/format.hh"
 
 using namespace wsl;
 
@@ -203,6 +208,35 @@ main(int argc, char **argv)
         timedRun(chars, observed_batch, 1, observed);
     std::printf("observed serial:   %7.2fs (1 thread, profiler + "
                 "decision log)\n", t_observed);
+
+    // Warm-start passes: every job forks from a snapshot of its own
+    // launch-through-window/2 prefix. The capture pass populates the
+    // process-wide SnapshotCache (each prefix simulated once, then
+    // restored — roughly serial cost plus serialization overhead);
+    // the second pass hits the cache for every job and skips the
+    // prefix simulation outright. Both must stay bit-identical to the
+    // cold serial pass — that is the snapshot engine's restore
+    // guarantee under load.
+    const Cycle warm_at = window / 2;
+    std::vector<CoRunJob> warm_batch = batch;
+    for (CoRunJob &job : warm_batch) {
+        job.opts.warmStart = &SnapshotCache::global();
+        job.opts.warmStartAt = warm_at;
+    }
+    SnapshotCache::global().clear();
+    std::vector<CoRunResult> warm_capture, warm;
+    const double t_warm_capture =
+        timedRun(chars, warm_batch, 1, warm_capture);
+    std::printf("warm capture:      %7.2fs (1 thread, %llu prefix "
+                "snapshots)\n", t_warm_capture,
+                static_cast<unsigned long long>(
+                    SnapshotCache::global().misses()));
+    const double t_warm = timedRun(chars, warm_batch, 1, warm);
+    std::printf("warm start:        %7.2fs (1 thread, %llu cache "
+                "hits)\n", t_warm,
+                static_cast<unsigned long long>(
+                    SnapshotCache::global().hits()));
+    SnapshotCache::global().clear();
     // Pull-model registry: sampling happens only here, at export.
     {
         CounterRegistry registry;
@@ -235,8 +269,11 @@ main(int argc, char **argv)
         same_as_serial(tick) && same_as_serial(tick_ref) &&
         same_as_serial(par_tick) && same_as_serial(par_tick_ref);
     const bool obs_identical = same_as_serial(observed);
+    const bool warm_identical =
+        same_as_serial(warm_capture) && same_as_serial(warm);
     const bool identical = thread_identical && skip_identical &&
-                           tick_identical && obs_identical;
+                           tick_identical && obs_identical &&
+                           warm_identical;
     const double speedup = t_parallel > 0 ? t_serial / t_parallel : 0;
     const double skip_speedup =
         t_serial > 0 ? t_serial_ref / t_serial : 0;
@@ -250,6 +287,9 @@ main(int argc, char **argv)
     std::printf("obs overhead:    %7.2fx   results %s\n",
                 t_serial > 0 ? t_observed / t_serial : 0,
                 obs_identical ? "bit-identical" : "DIVERGED");
+    const double warm_speedup = t_warm > 0 ? t_serial / t_warm : 0;
+    std::printf("warm speedup:    %7.2fx   results %s\n", warm_speedup,
+                warm_identical ? "bit-identical" : "DIVERGED");
 
     // Serial co-run throughput in simulated Mcycles/s: to first order
     // window- and pair-count-invariant, so a --quick CI run can be
@@ -285,6 +325,12 @@ main(int argc, char **argv)
            << "  \"parallel_tick_noskip_seconds\": " << t_par_tick_ref
            << ",\n"
            << "  \"observed_serial_seconds\": " << t_observed << ",\n"
+           << "  \"warm_start_at\": " << warm_at << ",\n"
+           << "  \"warm_capture_seconds\": " << t_warm_capture << ",\n"
+           << "  \"warm_start_seconds\": " << t_warm << ",\n"
+           << "  \"warm_start_speedup\": " << warm_speedup << ",\n"
+           << "  \"snapshot_format_version\": " << snapshotFormatVersion
+           << ",\n"
            << "  \"speedup\": " << speedup << ",\n"
            << "  \"clock_skip_speedup\": " << skip_speedup << ",\n"
            << "  \"tick_speedup\": " << tick_speedup << ",\n"

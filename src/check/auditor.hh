@@ -30,6 +30,7 @@
 namespace wsl {
 
 class Gpu;
+struct SnapshotAccess;
 
 class Auditor
 {
@@ -66,6 +67,8 @@ class Auditor
     Cycle cadence() const { return auditCadence; }
 
   private:
+    friend struct SnapshotAccess;
+
     Cycle auditCadence;
     Cycle nextAudit = 0;
     std::uint64_t audits = 0;

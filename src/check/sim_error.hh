@@ -73,6 +73,7 @@ class SimError : public std::runtime_error
         Invariant, //!< an integrity audit found inconsistent state
         Deadlock,  //!< the no-progress watchdog fired
         Config,    //!< inconsistent user-supplied configuration
+        Snapshot,  //!< a machine snapshot could not be saved/restored
     };
 
     SimError(Kind kind, const std::string &message)
@@ -91,6 +92,7 @@ class SimError : public std::runtime_error
           case Kind::Invariant: return "invariant";
           case Kind::Deadlock: return "deadlock";
           case Kind::Config: return "config";
+          case Kind::Snapshot: return "snapshot";
         }
         return "unknown";
     }
@@ -180,6 +182,20 @@ class ConfigError : public SimError
   public:
     explicit ConfigError(const std::string &message)
         : SimError(Kind::Config, message)
+    {
+    }
+};
+
+/**
+ * A machine snapshot could not be written, or a snapshot file was
+ * rejected at restore time (truncated, corrupted, wrong format
+ * version, or taken on an incompatible machine configuration).
+ */
+class SnapshotError : public SimError
+{
+  public:
+    explicit SnapshotError(const std::string &message)
+        : SimError(Kind::Snapshot, message)
     {
     }
 };

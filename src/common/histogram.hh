@@ -17,6 +17,8 @@
 
 namespace wsl {
 
+struct SnapshotAccess;
+
 class Histogram
 {
   public:
@@ -83,6 +85,8 @@ class Histogram
     void dump(std::ostream &os) const;
 
   private:
+    friend struct SnapshotAccess;
+
     std::array<std::uint64_t, numBuckets> buckets{};
     std::uint64_t samples = 0;
     std::uint64_t sum = 0;

@@ -45,6 +45,10 @@ class Rng
     /** Bernoulli draw with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Raw generator state, for machine snapshots. */
+    std::uint64_t rawState() const { return state; }
+    void setRawState(std::uint64_t s) { state = s; }
+
   private:
     std::uint64_t state;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "snapshot/io.hh"
 
 namespace wsl {
 
@@ -99,6 +100,18 @@ SpatialPolicy::mayDispatch(const Gpu &gpu, SmId sm, KernelId kid) const
 }
 
 void
+SpatialPolicy::saveState(SnapWriter &w) const
+{
+    writeI32Vec(w, smOwner);
+}
+
+void
+SpatialPolicy::loadState(SnapReader &r)
+{
+    smOwner = readI32Vec(r);
+}
+
+void
 TimeSlicePolicy::tick(Gpu &gpu, Cycle now)
 {
     const std::vector<KernelId> live = liveKernels(gpu);
@@ -119,6 +132,20 @@ TimeSlicePolicy::mayDispatch(const Gpu &gpu, SmId sm,
 }
 
 void
+TimeSlicePolicy::saveState(SnapWriter &w) const
+{
+    w.u64(slice);
+    w.i32(owner);
+}
+
+void
+TimeSlicePolicy::loadState(SnapReader &r)
+{
+    slice = r.u64();
+    owner = r.i32();
+}
+
+void
 FixedQuotaPolicy::onKernelSetChanged(Gpu &gpu, Cycle now)
 {
     (void)now;
@@ -132,6 +159,18 @@ FixedQuotaPolicy::onKernelSetChanged(Gpu &gpu, Cycle now)
                 gpu.sm(s).setQuota(kid, quotas[kid]);
         }
     }
+}
+
+void
+FixedQuotaPolicy::saveState(SnapWriter &w) const
+{
+    writeI32Vec(w, quotas);
+}
+
+void
+FixedQuotaPolicy::loadState(SnapReader &r)
+{
+    quotas = readI32Vec(r);
 }
 
 } // namespace wsl

@@ -65,6 +65,8 @@ class SpatialPolicy : public SlicingPolicy
     void onKernelSetChanged(Gpu &gpu, Cycle now) override;
     bool mayDispatch(const Gpu &gpu, SmId sm,
                      KernelId kid) const override;
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
 
   private:
     std::vector<KernelId> smOwner;  //!< kernel owning each SM
@@ -86,6 +88,8 @@ class FixedQuotaPolicy : public SlicingPolicy
 
     std::string name() const override { return "FixedQuota"; }
     void onKernelSetChanged(Gpu &gpu, Cycle now) override;
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
 
   private:
     std::vector<int> quotas;
@@ -122,6 +126,9 @@ class TimeSlicePolicy : public SlicingPolicy
     }
 
     KernelId currentOwner() const { return owner; }
+
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
 
   private:
     Cycle slice;

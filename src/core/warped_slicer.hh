@@ -122,6 +122,12 @@ class WarpedSlicerPolicy : public SlicingPolicy
      */
     void attachDecisionLog(DecisionLog *log) { dlog = log; }
 
+    /** Full profiling/monitor/decision state, including the attached
+     *  decision log's entries (replayed into the restore-side log when
+     *  one is attached). */
+    void saveState(SnapWriter &w) const override;
+    void loadState(SnapReader &r) override;
+
   private:
     void startProfiling(Gpu &gpu, Cycle now);
     void applyProfileConfig(Gpu &gpu);

@@ -28,6 +28,7 @@ class EngineProfiler;
 enum class HorizonCap : unsigned;
 enum class FuseCap : unsigned;
 class TelemetrySampler;
+struct SnapshotAccess;
 
 /**
  * The simulated GPU. Construct, launch kernels, then tick (or run()).
@@ -134,6 +135,8 @@ class Gpu
     TickPool *tickPool() { return pool.get(); }
 
   private:
+    friend struct SnapshotAccess;
+
     void dispatch();
 
     /**

@@ -16,6 +16,8 @@
 namespace wsl {
 
 class Gpu;
+class SnapReader;
+class SnapWriter;
 
 /** Base class for intra-/inter-SM slicing policies. */
 class SlicingPolicy
@@ -83,6 +85,18 @@ class SlicingPolicy
     {
         return timeInvariant() ? neverCycle : now;
     }
+
+    /**
+     * Serialize policy-internal state into a machine snapshot /
+     * restore it. A policy whose decisions depend on anything beyond
+     * the GPU state it can re-derive (profiling windows, rotation
+     * owners, applied quota vectors) must override both; the defaults
+     * write and read nothing (stateless policies). The restore-side
+     * policy object is freshly constructed with the same options
+     * before loadState() runs.
+     */
+    virtual void saveState(SnapWriter &w) const { (void)w; }
+    virtual void loadState(SnapReader &r) { (void)r; }
 };
 
 } // namespace wsl

@@ -23,6 +23,7 @@ namespace wsl {
 
 class MemPartition;
 class SmCore;
+struct SnapshotAccess;
 
 /**
  * Ordered SM <-> partition traffic merge, with conservation counters
@@ -55,6 +56,8 @@ class InterconnectStage
     std::uint64_t deliveredResponses() const { return delivered; }
 
   private:
+    friend struct SnapshotAccess;
+
     std::uint64_t routed = 0;
     std::uint64_t delivered = 0;
 };

@@ -9,9 +9,11 @@
 #include "common/log.hh"
 #include "core/policies.hh"
 #include "harness/parallel.hh"
+#include "harness/snapshot_cache.hh"
 #include "harness/solo_cache.hh"
 #include "obs/decision_log.hh"
 #include "obs/engine_profiler.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 
 namespace wsl {
@@ -133,6 +135,86 @@ runSoloToTarget(const KernelParams &params, const GpuConfig &cfg,
     return r;
 }
 
+namespace {
+
+/**
+ * Validate and build the policy object a co-run uses (fixed quotas
+ * override `kind`). Shared by the main run and the warm-start prefix
+ * simulation, which must construct an identical policy.
+ */
+std::unique_ptr<SlicingPolicy>
+makeCoRunPolicy(const std::vector<KernelParams> &apps, PolicyKind kind,
+                const GpuConfig &cfg, const CoRunOptions &opts)
+{
+    if (opts.fixedQuotas.empty())
+        return makePolicy(kind, opts.slicer);
+    if (opts.fixedQuotas.size() != apps.size())
+        throw ConfigError(detail::concat(
+            "fixedQuotas has ", opts.fixedQuotas.size(),
+            " entries for ", apps.size(), " apps"));
+    const ResourceVec cap = ResourceVec::capacity(cfg);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const int q = opts.fixedQuotas[i];
+        if (q < 0)
+            throw ConfigError(detail::concat(
+                "fixedQuotas[", i, "] = ", q, " is negative"));
+        if (!ResourceVec::ofCta(apps[i]).scaled(q).fitsIn(cap))
+            throw ConfigError(detail::concat(
+                "fixedQuotas[", i, "] = ", q, " CTAs of '",
+                apps[i].name, "' exceed one SM's resources"));
+    }
+    return std::make_unique<FixedQuotaPolicy>(opts.fixedQuotas);
+}
+
+/** Every Warped-Slicer tunable, serialized for the warm-start key. */
+std::string
+slicerFingerprint(const WarpedSlicerOptions &o)
+{
+    return detail::concat(
+        "warmup=", o.warmup, ";profile=", o.profileLength,
+        ";delay=", o.algorithmDelay, ";loss=", o.lossThresholdScale,
+        ";bwutil=", o.bwUtilization, ";bwscale=", o.bwScaling,
+        ";bwconstr=", o.bwConstraint, ";aluutil=", o.aluUtilization,
+        ";monitor=", o.phaseMonitor, ";mwin=", o.monitorWindow,
+        ";mdelta=", o.phaseDelta, ";sustained=", o.sustainedWindows,
+        ";skipwin=", o.baselineSkipWindows,
+        ";cooldown=", o.reprofileCooldown);
+}
+
+/**
+ * Warm-start cache key: everything the shared prefix depends on. The
+ * machine fingerprint canonicalizes the engine variants away (so
+ * serial and threaded sweeps share prefixes) and carries the snapshot
+ * format version; the decision-log marker separates captures that
+ * embed replayable log entries from those that don't.
+ */
+std::string
+warmStartKey(const std::vector<KernelParams> &apps,
+             const std::vector<std::uint64_t> &targets, PolicyKind kind,
+             const GpuConfig &cfg, const CoRunOptions &opts)
+{
+    std::string key = snapshotMachineFingerprint(cfg);
+    key += "|policy=";
+    if (!opts.fixedQuotas.empty()) {
+        key += "FixedQuota:";
+        for (const int q : opts.fixedQuotas)
+            key += std::to_string(q) + ",";
+    } else {
+        key += policyName(kind);
+        if (kind == PolicyKind::Dynamic)
+            key += ":" + slicerFingerprint(opts.slicer);
+    }
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        key += "|app=" + kernelFingerprint(apps[i]) + ":" +
+               std::to_string(targets[i]);
+    key += "|warm@" + std::to_string(opts.warmStartAt);
+    if (opts.decisionLog)
+        key += "|dlog";
+    return key;
+}
+
+} // namespace
+
 CoRunResult
 runCoSchedule(const std::vector<KernelParams> &apps,
               const std::vector<std::uint64_t> &targets, PolicyKind kind,
@@ -140,41 +222,106 @@ runCoSchedule(const std::vector<KernelParams> &apps,
 {
     WSL_ASSERT(apps.size() == targets.size(),
                "one instruction target per app");
-    std::unique_ptr<SlicingPolicy> policy;
-    if (!opts.fixedQuotas.empty()) {
-        if (opts.fixedQuotas.size() != apps.size())
-            throw ConfigError(detail::concat(
-                "fixedQuotas has ", opts.fixedQuotas.size(),
-                " entries for ", apps.size(), " apps"));
-        const ResourceVec cap = ResourceVec::capacity(cfg);
-        for (std::size_t i = 0; i < apps.size(); ++i) {
-            const int q = opts.fixedQuotas[i];
-            if (q < 0)
-                throw ConfigError(detail::concat(
-                    "fixedQuotas[", i, "] = ", q, " is negative"));
-            if (!ResourceVec::ofCta(apps[i]).scaled(q).fitsIn(cap))
-                throw ConfigError(detail::concat(
-                    "fixedQuotas[", i, "] = ", q, " CTAs of '",
-                    apps[i].name, "' exceed one SM's resources"));
-        }
-        policy = std::make_unique<FixedQuotaPolicy>(opts.fixedQuotas);
-    } else {
-        policy = makePolicy(kind, opts.slicer);
-    }
+    const bool wants_checkpoint =
+        opts.snapshotAt > 0 || opts.checkpointEvery > 0;
+    if (wants_checkpoint && opts.snapshotPath.empty())
+        throw ConfigError(
+            "snapshotAt/checkpointEvery need a snapshotPath");
+    if (wants_checkpoint && opts.telemetry)
+        throw ConfigError(
+            "checkpointing is incompatible with a telemetry sampler "
+            "(interval baselines are not serializable)");
+
+    std::unique_ptr<SlicingPolicy> policy =
+        makeCoRunPolicy(apps, kind, cfg, opts);
     SlicingPolicy *policy_raw = policy.get();
 
     Gpu gpu(cfg, std::move(policy));
+    // The decision log attaches before any restore so replayed
+    // entries from a snapshot's capture-side log land in it.
+    if (opts.decisionLog)
+        if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(policy_raw))
+            dyn->attachDecisionLog(opts.decisionLog);
+
     std::vector<KernelId> kids;
     for (std::size_t i = 0; i < apps.size(); ++i)
-        kids.push_back(gpu.launchKernel(apps[i], targets[i]));
+        kids.push_back(static_cast<KernelId>(i));
+
+    const bool warm_start = opts.warmStart && opts.warmStartAt > 0 &&
+                            opts.restorePath.empty() && !opts.telemetry;
+    if (!opts.restorePath.empty()) {
+        restoreSnapshotFile(gpu, opts.restorePath);
+        // The snapshot must describe this exact experiment; a stale
+        // file (different apps or a different characterization
+        // window) would otherwise silently resume the wrong run.
+        if (gpu.numKernels() != apps.size())
+            throw SnapshotError(detail::concat(
+                "snapshot holds ", gpu.numKernels(), " kernels, this "
+                "co-run has ", apps.size()));
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const KernelInstance &k = gpu.kernel(kids[i]);
+            if (k.params.name != apps[i].name)
+                throw SnapshotError(detail::concat(
+                    "snapshot kernel ", i, " is '", k.params.name,
+                    "', expected '", apps[i].name, "'"));
+            if (k.instTarget != targets[i])
+                throw SnapshotError(detail::concat(
+                    "snapshot kernel '", k.params.name,
+                    "' has instruction target ", k.instTarget,
+                    ", expected ", targets[i], " — was the snapshot "
+                    "taken under a different characterization window "
+                    "(--window)?"));
+        }
+    } else if (warm_start) {
+        const std::string key =
+            warmStartKey(apps, targets, kind, cfg, opts);
+        const SnapshotCache::Bytes &bytes =
+            opts.warmStart->getOrCompute(key, [&] {
+                // Simulate the shared prefix once, on a private
+                // machine built exactly like the consumer's.
+                std::unique_ptr<SlicingPolicy> warm_policy =
+                    makeCoRunPolicy(apps, kind, cfg, opts);
+                DecisionLog warm_log;  // rides along in the snapshot
+                if (opts.decisionLog)
+                    if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(
+                            warm_policy.get()))
+                        dyn->attachDecisionLog(&warm_log);
+                Gpu warm(cfg, std::move(warm_policy));
+                for (std::size_t i = 0; i < apps.size(); ++i)
+                    warm.launchKernel(apps[i], targets[i]);
+                warm.run(opts.warmStartAt);
+                return saveSnapshot(warm);
+            });
+        restoreSnapshot(gpu, bytes);
+    } else {
+        for (std::size_t i = 0; i < apps.size(); ++i)
+            gpu.launchKernel(apps[i], targets[i]);
+    }
+
     if (opts.telemetry)
         gpu.attachTelemetry(opts.telemetry);
     if (opts.profiler)
         gpu.attachEngineProfiler(opts.profiler);
-    if (opts.decisionLog)
-        if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(policy_raw))
-            dyn->attachDecisionLog(opts.decisionLog);
-    gpu.run(opts.maxCycles);
+
+    // maxCycles is the run's absolute end cycle; a restored machine
+    // only simulates the remainder.
+    const Cycle end = opts.maxCycles;
+    auto run_to = [&](Cycle target) {
+        if (target > gpu.cycle())
+            gpu.run(target - gpu.cycle());
+    };
+    if (opts.snapshotAt > 0) {
+        run_to(std::min(opts.snapshotAt, end));
+        writeSnapshotFile(gpu, opts.snapshotPath);
+    }
+    if (opts.checkpointEvery > 0) {
+        while (gpu.cycle() < end && !gpu.allKernelsDone()) {
+            run_to(std::min(gpu.cycle() + opts.checkpointEvery, end));
+            writeSnapshotFile(gpu, opts.snapshotPath);
+        }
+    } else {
+        run_to(end);
+    }
 
     CoRunResult r;
     if (opts.profiler)

@@ -28,6 +28,7 @@ namespace wsl {
 
 class DecisionLog;
 class EngineProfiler;
+class SnapshotCache;
 
 /** The multiprogramming approaches compared in the evaluation. */
 enum class PolicyKind { LeftOver, Even, Spatial, Dynamic };
@@ -84,6 +85,10 @@ WarpedSlicerOptions scaledSlicerOptions(Cycle window);
 /** Co-run controls. */
 struct CoRunOptions
 {
+    /** Absolute end cycle of the run (kernels may drain earlier).
+     *  A run restored from a snapshot continues up to the same
+     *  absolute cycle, so restored and cold runs cover the same
+     *  simulated interval. */
     Cycle maxCycles = 8'000'000;
     WarpedSlicerOptions slicer{};
     /** Explicit per-kernel CTA quotas; non-empty selects the
@@ -106,6 +111,35 @@ struct CoRunOptions
      * Only meaningful with PolicyKind::Dynamic; ignored otherwise.
      */
     DecisionLog *decisionLog = nullptr;
+
+    // ---- Checkpoint / warm-start controls (snapshot engine) ----
+
+    /**
+     * Warm-start fan-out: with a cache and warmStartAt > 0, the run's
+     * shared prefix (launch through cycle `warmStartAt`) is simulated
+     * once per distinct {machine, policy, apps, targets, capture
+     * cycle} key and every subsequent identical job forks from the
+     * cached snapshot instead of re-simulating it. Bit-identical to a
+     * cold run by the snapshot engine's restore guarantee. Ignored
+     * when telemetry is attached (samplers must observe the whole
+     * run) or when restoring from a file.
+     */
+    SnapshotCache *warmStart = nullptr;
+    /** Prefix boundary (absolute cycle) for warm-start capture. */
+    Cycle warmStartAt = 0;
+
+    /** Resume from this snapshot file instead of launching fresh
+     *  kernels; the file's kernel set must match `apps`/`targets`. */
+    std::string restorePath;
+
+    /** Write a checkpoint to this path (atomically) when snapshotAt
+     *  or checkpointEvery triggers. */
+    std::string snapshotPath;
+    /** One-shot checkpoint at this absolute cycle (0 = off). */
+    Cycle snapshotAt = 0;
+    /** Periodic checkpoints every N cycles so an interrupted sweep
+     *  resumes from the last completed epoch (0 = off). */
+    Cycle checkpointEvery = 0;
 };
 
 /**

@@ -1,0 +1,63 @@
+#include "harness/snapshot_cache.hh"
+
+namespace wsl {
+
+const SnapshotCache::Bytes &
+SnapshotCache::getOrCompute(const std::string &key,
+                            const std::function<Bytes()> &make)
+{
+    std::shared_ptr<Entry> entry;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = entries.find(key);
+        if (it == entries.end()) {
+            it = entries.emplace(key, std::make_shared<Entry>()).first;
+            created = true;
+        }
+        entry = it->second;
+    }
+    // Outside the map lock: the prefix simulation can take seconds,
+    // and unrelated keys must be able to compute concurrently. If
+    // make() throws, call_once leaves the flag unset and the entry is
+    // removed so a later request can retry cleanly.
+    try {
+        std::call_once(entry->once, [&] { entry->bytes = make(); });
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = entries.find(key);
+        if (it != entries.end() && it->second == entry)
+            entries.erase(it);
+        throw;
+    }
+    if (created)
+        missCount.fetch_add(1, std::memory_order_relaxed);
+    else
+        hitCount.fetch_add(1, std::memory_order_relaxed);
+    return entry->bytes;
+}
+
+std::size_t
+SnapshotCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+void
+SnapshotCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.clear();
+    hitCount.store(0);
+    missCount.store(0);
+}
+
+SnapshotCache &
+SnapshotCache::global()
+{
+    static SnapshotCache cache;
+    return cache;
+}
+
+} // namespace wsl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memoized warm-start snapshots. A co-run sweep evaluates many
+ * variants (policies, quota combinations, engine settings) of the
+ * *same* kernel set, and every variant replays an identical prefix:
+ * the launch, ramp-up, and (for the Dynamic policy) profiling window
+ * before the variants' decisions diverge. The cache keys a snapshot
+ * of the machine at a caller-chosen prefix boundary on everything
+ * that feeds the prefix — machine fingerprint (snapshot-format
+ * versioned), policy identity, per-app kernel fingerprints and
+ * instruction targets, the capture cycle — and simulates the prefix
+ * at most once, concurrency-safely: concurrent requests for one key
+ * block on a std::once_flag while a single thread runs it.
+ *
+ * Entries hold framed snapshot bytes (see snapshot/snapshot.hh), so
+ * a cached prefix can never alias live per-run state; every consumer
+ * restores its own private Gpu from the bytes.
+ */
+
+#ifndef WSL_HARNESS_SNAPSHOT_CACHE_HH
+#define WSL_HARNESS_SNAPSHOT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wsl {
+
+/** Thread-safe memo of warm-start snapshot payloads. */
+class SnapshotCache
+{
+  public:
+    using Bytes = std::vector<std::uint8_t>;
+
+    /**
+     * The snapshot bytes for `key`, running `make` to produce them on
+     * the first request. An empty result is cached too (the sentinel
+     * for "prefix not snapshottable — run cold"). If `make` throws,
+     * nothing is cached and the next request retries. The returned
+     * reference stays valid until clear().
+     */
+    const Bytes &getOrCompute(const std::string &key,
+                              const std::function<Bytes()> &make);
+
+    /** Requests answered from an existing entry. */
+    std::uint64_t hits() const { return hitCount.load(); }
+    /** Requests that ran the prefix simulation. */
+    std::uint64_t misses() const { return missCount.load(); }
+    std::size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+    /** Process-wide instance shared by harness helpers and drivers. */
+    static SnapshotCache &global();
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Bytes bytes;
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace wsl
+
+#endif // WSL_HARNESS_SNAPSHOT_CACHE_HH

@@ -18,6 +18,7 @@
 namespace wsl {
 
 struct AuditAccess;
+struct SnapshotAccess;
 
 /** Geometry and capacity limits of a cache instance. */
 struct CacheParams
@@ -114,6 +115,7 @@ class Cache
 
   private:
     friend struct AuditAccess;
+    friend struct SnapshotAccess;
 
     static constexpr std::uint8_t flagValid = 1;
     static constexpr std::uint8_t flagDirty = 2;

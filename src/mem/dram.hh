@@ -26,6 +26,7 @@
 namespace wsl {
 
 struct AuditAccess;
+struct SnapshotAccess;
 
 /** One scheduled DRAM transaction. */
 struct DramRequest
@@ -83,6 +84,7 @@ class DramChannel
 
   private:
     friend struct AuditAccess;
+    friend struct SnapshotAccess;
 
     /** A queued transaction with its address geometry precomputed. */
     struct BankEntry

@@ -20,6 +20,7 @@
 namespace wsl {
 
 struct AuditAccess;
+struct SnapshotAccess;
 
 /**
  * Memory partition. Requests arrive time-stamped from the interconnect;
@@ -85,6 +86,7 @@ class MemPartition
 
   private:
     friend struct AuditAccess;
+    friend struct SnapshotAccess;
 
     void serviceRequest(const MemRequest &req, Cycle now);
 

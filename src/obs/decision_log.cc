@@ -31,6 +31,17 @@ DecisionLog::writeJson(std::ostream &os) const
 {
     JsonValue root = JsonValue::makeObject();
     root.set("schema", JsonValue::makeString("wslicer-decisions-v1"));
+    if (snapshot.valid()) {
+        JsonValue snap = JsonValue::makeObject();
+        snap.set("format_version",
+                 JsonValue::makeNumber(snapshot.formatVersion));
+        snap.set("capture_cycle",
+                 JsonValue::makeNumber(
+                     static_cast<double>(snapshot.captureCycle)));
+        snap.set("machine_fingerprint",
+                 JsonValue::makeString(snapshot.machineFingerprint));
+        root.set("snapshot", std::move(snap));
+    }
     JsonValue decisions = JsonValue::makeArray();
     for (const DecisionLogEntry &e : log) {
         JsonValue d = JsonValue::makeObject();

@@ -27,6 +27,7 @@
 
 #include "common/types.hh"
 #include "core/waterfill.hh"
+#include "snapshot/format.hh"
 
 namespace wsl {
 
@@ -87,12 +88,27 @@ class DecisionLog
     std::vector<DecisionLogEntry> &entries() { return log; }
     const std::vector<DecisionLogEntry> &entries() const { return log; }
 
+    /**
+     * Record that this log belongs to a run restored from a snapshot
+     * (the decisions before `info.captureCycle` were replayed from the
+     * capture side's log, not recomputed). Cold and warm-start runs
+     * never set this, keeping their logs byte-identical.
+     */
+    void setSnapshotProvenance(const SnapshotInfo &info)
+    {
+        snapshot = info;
+    }
+    const SnapshotInfo &snapshotProvenance() const { return snapshot; }
+
     /** Serialize as {"schema": "wslicer-decisions-v1", "decisions":
-     *  [...]}; deterministic across thread counts. */
+     *  [...]}; deterministic across thread counts. A "snapshot"
+     *  provenance object is added only when setSnapshotProvenance was
+     *  called. */
     void writeJson(std::ostream &os) const;
 
   private:
     std::vector<DecisionLogEntry> log;
+    SnapshotInfo snapshot;
 };
 
 } // namespace wsl

@@ -32,6 +32,17 @@ RunManifest::writeJson(std::ostream &os) const
     root.set("simulated_cycles",
              JsonValue::makeNumber(
                  static_cast<double>(simulatedCycles)));
+    if (snapshot.valid()) {
+        JsonValue snap = JsonValue::makeObject();
+        snap.set("format_version",
+                 JsonValue::makeNumber(snapshot.formatVersion));
+        snap.set("capture_cycle",
+                 JsonValue::makeNumber(
+                     static_cast<double>(snapshot.captureCycle)));
+        snap.set("machine_fingerprint",
+                 JsonValue::makeString(snapshot.machineFingerprint));
+        root.set("snapshot", std::move(snap));
+    }
     JsonValue dump = JsonValue::makeObject();
     for (const auto &[name, value] : counters)
         dump.set(name, JsonValue::makeNumber(value));

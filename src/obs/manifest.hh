@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "snapshot/format.hh"
 
 namespace wsl {
 
@@ -40,6 +41,14 @@ struct RunManifest
     unsigned hardwareThreads = 0;
     std::string configFingerprint;
     Cycle simulatedCycles = 0; //!< 0 when not applicable
+    /**
+     * Snapshot provenance when the run was restored from a
+     * checkpoint (format version, capture cycle, canonicalized
+     * machine fingerprint); default-invalid for cold runs, in which
+     * case writeJson omits the "snapshot" object entirely so cold
+     * manifests are unchanged.
+     */
+    SnapshotInfo snapshot;
     /** Flat name -> value counter dump (registry snapshot). */
     std::vector<std::pair<std::string, double>> counters;
 

@@ -232,6 +232,15 @@ renderDecisionLog(const JsonValue &doc, std::ostream &os,
         error = "missing 'decisions' array";
         return false;
     }
+    if (const JsonValue *snap = doc.findObject("snapshot")) {
+        os << "restored from snapshot: format v"
+           << static_cast<unsigned>(snap->numberOr("format_version", 0))
+           << ", captured @ cycle "
+           << static_cast<std::uint64_t>(
+                  snap->numberOr("capture_cycle", 0))
+           << ", machine "
+           << snap->stringOr("machine_fingerprint", "?") << "\n";
+    }
     if (decisions->items().empty()) {
         os << "no decisions recorded (single-kernel run, or the "
               "policy never repartitioned)\n";

@@ -14,6 +14,8 @@
 
 namespace wsl {
 
+struct SnapshotAccess;
+
 /** A point in the 4-D SM resource space. */
 struct ResourceVec
 {
@@ -111,6 +113,8 @@ class ResourcePool
     ResourceVec freeVec() const { return cap - used; }
 
   private:
+    friend struct SnapshotAccess;
+
     ResourceVec cap;
     ResourceVec used;
 };

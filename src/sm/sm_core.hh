@@ -29,6 +29,7 @@
 namespace wsl {
 
 struct AuditAccess;
+struct SnapshotAccess;
 
 /**
  * One SM. The core is self-contained: the GPU object launches CTAs into
@@ -208,6 +209,7 @@ class SmCore
 
   private:
     friend struct AuditAccess;
+    friend struct SnapshotAccess;
     /** Why a warp could not issue this cycle. */
     enum class IssueOutcome
     {

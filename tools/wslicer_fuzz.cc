@@ -14,9 +14,19 @@
  *
  *   wslicer-fuzz [--seeds N] [--start-seed S] [--cycles C]
  *                [--cadence K] [--watchdog W] [--no-skip]
+ *                [--snapshot]
  *
  * Defaults: 50 seeds from 1, 20000 cycles each, audit cadence 1,
  * watchdog 10000 cycles, clock skipping randomized per seed.
+ *
+ * --snapshot switches every seed to a snapshot round-trip probe: the
+ * scenario runs cold to completion, then again to a random cycle
+ * horizon where the machine is serialized, and both the interrupted
+ * donor (continued in place) and a fresh machine restored from the
+ * snapshot must land on the cold run's exact final state. Any
+ * divergence — or any SimError raised on the restored machine, which
+ * runs with the same max-cadence auditor — is a finding and shrinks
+ * like the classic mode.
  */
 
 #include <cstdio>
@@ -27,6 +37,7 @@
 
 #include "common/rng.hh"
 #include "harness/runner.hh"
+#include "snapshot/snapshot.hh"
 
 using namespace wsl;
 
@@ -40,6 +51,7 @@ struct FuzzOptions
     Cycle cadence = 1;
     Cycle watchdog = 10'000;
     bool forceNoSkip = false;
+    bool snapshotMode = false;  //!< random-horizon round-trip probes
 };
 
 struct Scenario
@@ -55,7 +67,7 @@ usage()
     std::fprintf(stderr,
                  "usage: wslicer-fuzz [--seeds N] [--start-seed S] "
                  "[--cycles C] [--cadence K] [--watchdog W] "
-                 "[--no-skip]\n");
+                 "[--no-skip] [--snapshot]\n");
     std::exit(2);
 }
 
@@ -152,6 +164,112 @@ runScenario(const Scenario &sc, Cycle cycles)
     return {};
 }
 
+/** Compact end-of-run machine digest for divergence comparison. */
+struct FuzzDigest
+{
+    Cycle cycle = 0;
+    GpuStats stats;
+    std::vector<std::uint64_t> kernels;
+
+    bool
+    operator==(const FuzzDigest &o) const
+    {
+        if (cycle != o.cycle || kernels != o.kernels)
+            return false;
+        bool eq = true;
+        SmStats::forEachField([&](const char *, auto m) {
+            if (!(stats.*m == o.stats.*m))
+                eq = false;
+        });
+        PartitionStats::forEachField([&](const char *, auto m) {
+            if (!(stats.*m == o.stats.*m))
+                eq = false;
+        });
+        return eq;
+    }
+};
+
+FuzzDigest
+fuzzDigest(const Gpu &gpu)
+{
+    FuzzDigest d;
+    d.cycle = gpu.cycle();
+    d.stats = gpu.collectStats();
+    for (std::size_t k = 0; k < gpu.numKernels(); ++k) {
+        const KernelInstance &ki = gpu.kernel(static_cast<KernelId>(k));
+        d.kernels.push_back(ki.nextCta);
+        d.kernels.push_back(ki.ctasCompleted);
+        d.kernels.push_back(ki.done ? 1 : 0);
+        d.kernels.push_back(ki.finishCycle);
+    }
+    return d;
+}
+
+/**
+ * Snapshot round-trip probe for one scenario: cold reference run,
+ * interrupted run with a snapshot at a random horizon, and a restored
+ * run, all of which must agree bit-for-bit. Returns the finding, or
+ * empty when the seed is clean.
+ */
+std::string
+runSnapshotScenario(const Scenario &sc, Cycle cycles,
+                    std::uint64_t seed)
+{
+    try {
+        sc.cfg.validate();
+        // The horizon draws from a separate stream so it never
+        // perturbs the scenario generator's sequence.
+        Rng pick(seed ^ 0x5eedULL);
+        const Cycle t = 1 + pick.range(cycles - 1);
+
+        auto machine = [&] {
+            auto gpu = std::make_unique<Gpu>(
+                sc.cfg, makePolicy(sc.kind, scaledSlicerOptions(cycles)));
+            for (const KernelParams &k : sc.kernels)
+                gpu->launchKernel(k);
+            return gpu;
+        };
+        // run() is relative and returns early once all kernels drain,
+        // so aim every machine at the same absolute end cycle.
+        auto run_to = [](Gpu &gpu, Cycle end) {
+            if (end > gpu.cycle())
+                gpu.run(end - gpu.cycle());
+        };
+
+        auto cold = machine();
+        run_to(*cold, cycles);
+        const FuzzDigest want = fuzzDigest(*cold);
+
+        auto donor = machine();
+        run_to(*donor, t);
+        const std::vector<std::uint8_t> snap = saveSnapshot(*donor);
+        run_to(*donor, cycles);
+        if (!(fuzzDigest(*donor) == want)) {
+            return "snapshot divergence: interrupted donor differs "
+                   "from the cold run after continuing (capture @ " +
+                   std::to_string(t) + ") — saving mutated state";
+        }
+
+        auto restored = std::make_unique<Gpu>(
+            sc.cfg, makePolicy(sc.kind, scaledSlicerOptions(cycles)));
+        restoreSnapshot(*restored, snap);
+        run_to(*restored, cycles);
+        if (restored->integrityAuditor())
+            restored->integrityAuditor()->runChecks(*restored);
+        if (!(fuzzDigest(*restored) == want)) {
+            return "snapshot divergence: restored machine differs "
+                   "from the cold run (capture @ " +
+                   std::to_string(t) + ")";
+        }
+    } catch (const DeadlockError &e) {
+        return std::string("deadlock: ") + e.what() + "\n" +
+               e.report();
+    } catch (const SimError &e) {
+        return std::string(e.kindName()) + ": " + e.what();
+    }
+    return {};
+}
+
 } // namespace
 
 int
@@ -177,6 +295,8 @@ main(int argc, char **argv)
             opt.watchdog = std::strtoull(next(), nullptr, 10);
         else if (arg == "--no-skip")
             opt.forceNoSkip = true;
+        else if (arg == "--snapshot")
+            opt.snapshotMode = true;
         else
             usage();
     }
@@ -187,7 +307,10 @@ main(int argc, char **argv)
     for (std::uint64_t s = 0; s < opt.seeds; ++s) {
         const std::uint64_t seed = opt.startSeed + s;
         const Scenario sc = buildScenario(seed, opt);
-        const std::string err = runScenario(sc, opt.cycles);
+        const std::string err =
+            opt.snapshotMode
+                ? runSnapshotScenario(sc, opt.cycles, seed)
+                : runScenario(sc, opt.cycles);
         if (err.empty()) {
             if ((s + 1) % 10 == 0 || s + 1 == opt.seeds)
                 std::printf("fuzz: %llu/%llu seeds clean\n",
@@ -210,7 +333,10 @@ main(int argc, char **argv)
         shrink_opt.forceNoSkip = true;
         Scenario shrunk = buildScenario(seed, shrink_opt);
         shrunk.cfg.clockSkip = false;
-        const std::string shrunk_err = runScenario(shrunk, opt.cycles);
+        const std::string shrunk_err =
+            opt.snapshotMode
+                ? runSnapshotScenario(shrunk, opt.cycles, seed)
+                : runScenario(shrunk, opt.cycles);
         if (shrunk_err.empty()) {
             std::printf("fuzz: seed %llu shrink: clean without clock "
                         "skipping — suspect the skip fast path\n",

@@ -48,6 +48,7 @@
 #include "obs/manifest.hh"
 #include "obs/registry.hh"
 #include "report/table.hh"
+#include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/timeline.hh"
 #include "trace/tracer.hh"
@@ -77,6 +78,10 @@ struct Options
     std::string profilePath;      //!< engine self-profiler JSON
     std::string manifestPath;     //!< run manifest JSON
     std::string promPath;         //!< Prometheus counter dump
+    std::string snapshotPath;     //!< checkpoint output (--snapshot)
+    Cycle snapshotAt = 0;         //!< capture cycle; 0 = window / 2
+    Cycle checkpointEvery = 0;    //!< periodic checkpoint cadence
+    std::string restorePath;      //!< resume from this snapshot
     Cycle statsInterval = 0;  //!< 0 = telemetry off
     unsigned jobs = defaultJobs();  //!< worker threads (WSL_JOBS)
     /** Intra-run tick threads (WSL_TICK_THREADS); composed against
@@ -108,7 +113,11 @@ usage(const char *argv0)
                  "report after N cycles without progress)\n"
                  "observability (corun): --decision-log FILE "
                  "--profile FILE\n"
-                 "         --manifest FILE --prom FILE\n",
+                 "         --manifest FILE --prom FILE\n"
+                 "checkpointing (corun): --snapshot FILE "
+                 "[--snapshot-at N | --checkpoint-every N]\n"
+                 "         --restore FILE (resume a checkpointed run; "
+                 "bit-identical to the uninterrupted run)\n",
                  argv0);
     std::exit(2);
 }
@@ -165,6 +174,20 @@ parseArgs(int argc, char **argv)
             opt.manifestPath = next();
         else if (arg == "--prom")
             opt.promPath = next();
+        else if (arg == "--snapshot")
+            opt.snapshotPath = next();
+        else if (arg == "--snapshot-at") {
+            opt.snapshotAt =
+                std::strtoull(next().c_str(), nullptr, 10);
+            if (opt.snapshotAt == 0)
+                usage(argv[0]);
+        } else if (arg == "--checkpoint-every") {
+            opt.checkpointEvery =
+                std::strtoull(next().c_str(), nullptr, 10);
+            if (opt.checkpointEvery == 0)
+                usage(argv[0]);
+        } else if (arg == "--restore")
+            opt.restorePath = next();
         else if (arg == "--timeline")
             opt.timelinePath = next();
         else if (arg == "--stats-interval")
@@ -368,6 +391,19 @@ cmdCorun(const Options &opt)
     if (sampler.enabled())
         co.telemetry = &sampler;
 
+    // Checkpoint / resume plumbing. A one-shot --snapshot without an
+    // explicit cycle captures at the window midpoint — past the
+    // Dynamic policy's profiling phase, so the checkpoint carries a
+    // settled partition decision.
+    co.snapshotPath = opt.snapshotPath;
+    co.checkpointEvery = opt.checkpointEvery;
+    if (!opt.snapshotPath.empty() && opt.checkpointEvery == 0)
+        co.snapshotAt = opt.snapshotAt ? opt.snapshotAt : window / 2;
+    co.restorePath = opt.restorePath;
+    SnapshotInfo restored;
+    if (!opt.restorePath.empty())
+        restored = probeSnapshotFile(opt.restorePath);
+
     // Engine observability: the profiler and decision log attach for
     // the run and are written out afterwards; neither perturbs the
     // simulated outcome (the bit-identity test holds them to that).
@@ -385,8 +421,15 @@ cmdCorun(const Options &opt)
         Tracer::global().clear();
 
     CoRunResult r = runCoSchedule(apps, targets, kind, cfg, co);
+    if (restored.valid())
+        decisions.setSnapshotProvenance(restored);
     Table table({"metric", "value"});
     table.addRow({"policy", opt.policy});
+    if (restored.valid())
+        table.addRow({"restored_from_cycle",
+                      std::to_string(restored.captureCycle)});
+    if (!opt.snapshotPath.empty())
+        table.addRow({"snapshot_file", opt.snapshotPath});
     table.addRow({"completed", r.completed ? "yes" : "no"});
     table.addRow({"makespan_cycles", std::to_string(r.makespan)});
     table.addRow({"system_ipc", Table::num(r.sysIpc)});
@@ -497,9 +540,10 @@ cmdCorun(const Options &opt)
             std::ofstream os(opt.manifestPath);
             if (!os)
                 fatal("cannot open ", opt.manifestPath);
-            buildRunManifest("wslicer-sim corun", cfg, &registry,
-                             r.makespan)
-                .writeJson(os);
+            RunManifest m = buildRunManifest("wslicer-sim corun", cfg,
+                                             &registry, r.makespan);
+            m.snapshot = restored;
+            m.writeJson(os);
             std::printf("(wrote %s)\n", opt.manifestPath.c_str());
         }
     }
