@@ -20,8 +20,20 @@ using namespace wsl;
 int
 main(int argc, char **argv)
 {
-    const std::string a = argc > 2 ? argv[1] : "NN";
+    const std::string a = argc > 1 ? argv[1] : "NN";
     const std::string b = argc > 2 ? argv[2] : "LBM";
+    for (const std::string &name : {a, b}) {
+        if (!findBenchmark(name)) {
+            std::fprintf(stderr,
+                         "unknown benchmark '%s'\n"
+                         "usage: example_multikernel_server "
+                         "[TENANT_A [TENANT_B]]\n"
+                         "(run `wslicer-sim list` for the Table II "
+                         "kernels)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
     const GpuConfig cfg = GpuConfig::baseline();
     const Cycle window = defaultWindow();
     Characterization chars(cfg, window);

@@ -74,6 +74,7 @@ class SimError : public std::runtime_error
         Deadlock,  //!< the no-progress watchdog fired
         Config,    //!< inconsistent user-supplied configuration
         Snapshot,  //!< a machine snapshot could not be saved/restored
+        Injected,  //!< a chaos-harness fault, injected on purpose
     };
 
     SimError(Kind kind, const std::string &message)
@@ -93,6 +94,7 @@ class SimError : public std::runtime_error
           case Kind::Deadlock: return "deadlock";
           case Kind::Config: return "config";
           case Kind::Snapshot: return "snapshot";
+          case Kind::Injected: return "injected";
         }
         return "unknown";
     }
@@ -198,6 +200,28 @@ class SnapshotError : public SimError
         : SimError(Kind::Snapshot, message)
     {
     }
+};
+
+/**
+ * A fault injected on purpose by the chaos harness (serve/chaos.hh).
+ * Distinct from every organic SimError kind so the serving layer's
+ * retry/backoff path can prove it never masks a *real* invariant
+ * violation or deadlock: injected faults are retried, organic errors
+ * are surfaced. `stall` marks the watchdog-stall flavor (the fault
+ * emulates a hung kernel rather than a transient error).
+ */
+class InjectedFault : public SimError
+{
+  public:
+    InjectedFault(const std::string &message, bool stall_fault = false)
+        : SimError(Kind::Injected, message), stallFault(stall_fault)
+    {
+    }
+
+    bool isStall() const { return stallFault; }
+
+  private:
+    bool stallFault;
 };
 
 /** Throw an InternalError with the thread's cycle context appended. */

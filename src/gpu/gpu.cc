@@ -169,6 +169,26 @@ Gpu::launchKernel(const KernelParams &params, std::uint64_t inst_target)
 }
 
 void
+Gpu::haltKernel(KernelId kid)
+{
+    WSL_ASSERT(kid >= 0 && static_cast<std::size_t>(kid) < kernels.size(),
+               detail::concat("haltKernel: bad kernel id ", kid));
+    KernelInstance &k = *kernels[kid];
+    if (k.done)
+        return;
+    k.done = true;
+    k.halted = true;
+    k.finishCycle = now;
+    Tracer::global().record(now, TraceEvent::KernelFinish, k.id, 1);
+    for (auto &sm_ptr : sms)
+        sm_ptr->evictKernel(k.id);
+    ctaDispatchDirty = true;
+    dispatchBlocked = false;
+    policyDirty = true;
+    policy->onKernelSetChanged(*this, now);
+}
+
+void
 Gpu::dispatch()
 {
     // Policies mutate quotas directly on the SMs; a moved generation

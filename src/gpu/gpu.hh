@@ -50,6 +50,21 @@ class Gpu
     KernelId launchKernel(const KernelParams &params,
                           std::uint64_t inst_target = 0);
 
+    /**
+     * Preempt a kernel: forcibly retire its resident CTAs on every SM,
+     * release its resources, and mark it done/halted as if it had hit
+     * its instruction target. Legal between ticks (any cycle
+     * boundary). The policy observes the shrunken kernel set exactly
+     * as it does for an organic halt, so the survivors are
+     * repartitioned on the next decision boundary. The serving layer
+     * uses this for quota-driven preemption and for cutting a
+     * quarantined tenant's kernel loose mid-batch; executed-work
+     * accounting (kernelThreadInsts) survives the eviction, so a
+     * preempted job resumes from its instruction-level checkpoint
+     * rather than from scratch.
+     */
+    void haltKernel(KernelId kid);
+
     /** Advance one core cycle. */
     void tick();
 

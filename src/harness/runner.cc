@@ -1,6 +1,7 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -417,6 +418,34 @@ Characterization::prewarm(const std::vector<std::string> &names,
     });
 }
 
+namespace {
+
+// Process-wide batch telemetry; relaxed is fine — these are counters,
+// not synchronization.
+std::atomic<std::uint64_t> g_batch_jobs{0};
+std::atomic<std::uint64_t> g_batch_failures{0};
+std::atomic<std::uint64_t> g_batch_retries{0};
+
+} // namespace
+
+std::uint64_t
+batchJobsRun()
+{
+    return g_batch_jobs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+batchJobsFailed()
+{
+    return g_batch_failures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+batchRetries()
+{
+    return g_batch_retries.load(std::memory_order_relaxed);
+}
+
 std::vector<CoRunResult>
 runCoScheduleBatch(Characterization &chars,
                    const std::vector<CoRunJob> &batch, unsigned jobs)
@@ -437,6 +466,7 @@ runCoScheduleBatch(Characterization &chars,
     return parallelMap<CoRunResult>(
         batch.size(), jobs, [&](std::size_t i) {
             const CoRunJob &job = batch[i];
+            g_batch_jobs.fetch_add(1, std::memory_order_relaxed);
             CoRunResult failed;
             failed.completed = false;
             failed.error.failed = true;
@@ -460,26 +490,34 @@ runCoScheduleBatch(Characterization &chars,
                     // retry's trustworthy numbers.
                     GpuConfig no_skip = run_cfg;
                     no_skip.clockSkip = false;
+                    g_batch_retries.fetch_add(
+                        1, std::memory_order_relaxed);
                     CoRunResult r = runCoSchedule(apps, targets,
                                                   job.kind, no_skip,
                                                   job.opts);
                     r.error.failed = true;
                     r.error.kind = "skip-divergence";
                     r.error.retriedNoSkip = true;
+                    r.error.retries = 1;
                     r.error.message = detail::concat(
                         "watchdog fired with clock skipping but the "
                         "no-skip retry completed: ", e.what());
+                    g_batch_failures.fetch_add(
+                        1, std::memory_order_relaxed);
                     return r;
                 }
             } catch (const DeadlockError &e) {
                 failed.error.kind = e.kindName();
                 failed.error.retriedNoSkip = chars.config().clockSkip;
+                failed.error.retries =
+                    failed.error.retriedNoSkip ? 1 : 0;
                 failed.error.message = detail::concat(
                     e.what(), "\n", e.report());
             } catch (const SimError &e) {
                 failed.error.kind = e.kindName();
                 failed.error.message = e.what();
             }
+            g_batch_failures.fetch_add(1, std::memory_order_relaxed);
             return failed;
         });
 }

@@ -161,7 +161,19 @@ struct JobError
     /** True when the watchdog fired under clock-skip and the job was
      *  re-run once with clockSkip=false to self-diagnose. */
     bool retriedNoSkip = false;
+    /** Bounded re-runs this job consumed (today 0 or 1: the no-skip
+     *  self-diagnosis retry). Counted even when the retry also failed,
+     *  so a sweep report can separate "failed outright" from "failed
+     *  after burning a retry". */
+    unsigned retries = 0;
 };
+
+/** Process-wide runCoScheduleBatch telemetry, fed to the counter
+ *  registry by registerHarnessCounters. Monotonic across all batches
+ *  this process ran. */
+std::uint64_t batchJobsRun();
+std::uint64_t batchJobsFailed();
+std::uint64_t batchRetries();
 
 /** Result of one co-scheduled run. */
 struct CoRunResult

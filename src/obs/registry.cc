@@ -6,6 +6,7 @@
 #include "check/auditor.hh"
 #include "gpu/gpu.hh"
 #include "harness/parallel.hh"
+#include "harness/runner.hh"
 #include "harness/solo_cache.hh"
 #include "obs/json.hh"
 #include "report/table.hh"
@@ -232,6 +233,22 @@ registerHarnessCounters(CounterRegistry &registry)
                        "counter",
                        "pooled tick-thread requests degraded to the "
                        "serial engine (worker-starved clamp)"});
+        out.push_back({"wsl_batch_jobs",
+                       {},
+                       static_cast<double>(batchJobsRun()),
+                       "counter",
+                       "co-schedule batch jobs started"});
+        out.push_back({"wsl_batch_jobs_failed",
+                       {},
+                       static_cast<double>(batchJobsFailed()),
+                       "counter",
+                       "batch jobs that ended with a JobError (incl. "
+                       "skip-divergence retries that succeeded)"});
+        out.push_back({"wsl_batch_retries",
+                       {},
+                       static_cast<double>(batchRetries()),
+                       "counter",
+                       "bounded no-skip self-diagnosis retries"});
     });
 }
 

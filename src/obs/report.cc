@@ -343,4 +343,88 @@ renderDecisionLog(const JsonValue &doc, std::ostream &os,
     return true;
 }
 
+bool
+renderSloReport(const JsonValue &doc, std::ostream &os,
+                std::string &error)
+{
+    if (!doc.isObject() ||
+        doc.stringOr("schema", "") != "wslicer-serve-v1") {
+        error = "not a wslicer-serve-v1 document";
+        return false;
+    }
+    const JsonValue *classes = doc.findArray("classes");
+    if (!classes) {
+        error = "missing 'classes' array";
+        return false;
+    }
+    os << "serve SLO report, Jain fairness over goodput rates: "
+       << doc.numberOr("fairness_index", 0) << "\n";
+    bool ledger_ok = true;
+    for (const JsonValue &c : classes->items()) {
+        auto n = [&](std::string_view key) {
+            return static_cast<std::uint64_t>(c.numberOr(key, 0));
+        };
+        const std::uint64_t arrivals = n("arrivals");
+        const std::uint64_t admitted = n("admitted");
+        const std::uint64_t rejected = n("rejected_queue_full") +
+                                       n("rejected_quarantined") +
+                                       n("rejected_malformed");
+        const std::uint64_t settled = n("completed") + n("shed") +
+                                      n("timed_out") + n("failed") +
+                                      n("pending_at_end");
+        // Conservation law: every arrival lands in exactly one
+        // bucket. A broken ledger means the service lost a request
+        // silently — the one thing the structured outcomes exist to
+        // prevent.
+        const bool ok =
+            arrivals == admitted + rejected && admitted == settled;
+        ledger_ok = ledger_ok && ok;
+
+        os << "\n=== class '" << c.stringOr("class", "?") << "' ("
+           << c.stringOr("bench", "?") << ")"
+           << (c.boolOr("quarantined", false) ? " [QUARANTINED]" : "")
+           << " ===\n";
+        os << "  arrivals " << arrivals << ": admitted " << admitted
+           << ", rejected " << rejected << " (queue-full "
+           << n("rejected_queue_full") << ", quarantined "
+           << n("rejected_quarantined") << ", malformed "
+           << n("rejected_malformed") << ")\n";
+        os << "  admitted " << admitted << ": completed "
+           << n("completed") << ", shed " << n("shed")
+           << ", timed out " << n("timed_out") << ", failed "
+           << n("failed") << ", in flight at end "
+           << n("pending_at_end") << "\n";
+        os << "  goodput " << n("goodput") << " / " << arrivals
+           << " arrivals, deadline misses " << n("deadline_miss")
+           << "\n";
+        if (const JsonValue *lat = c.findObject("latency")) {
+            if (lat->numberOr("count", 0) > 0)
+                os << "  latency: mean " << lat->numberOr("mean", 0)
+                   << ", p50 "
+                   << static_cast<std::uint64_t>(
+                          lat->numberOr("p50", 0))
+                   << ", p99 "
+                   << static_cast<std::uint64_t>(
+                          lat->numberOr("p99", 0))
+                   << " cycles\n";
+        }
+        if (const JsonValue *qd = c.findObject("queue_delay")) {
+            if (qd->numberOr("count", 0) > 0)
+                os << "  queue delay: mean " << qd->numberOr("mean", 0)
+                   << ", p99 "
+                   << static_cast<std::uint64_t>(qd->numberOr("p99", 0))
+                   << " cycles\n";
+        }
+        if (n("faults_injected") || n("retries") || n("preemptions"))
+            os << "  chaos: " << n("faults_injected")
+               << " faults injected (" << n("faults_stall")
+               << " stalls), " << n("retries") << " retries, "
+               << n("preemptions") << " preemptions\n";
+        os << "  accounting: " << (ok ? "ok" : "BROKEN") << "\n";
+    }
+    os << "\nledger: " << (ledger_ok ? "ok" : "BROKEN — see above")
+       << "\n";
+    return true;
+}
+
 } // namespace wsl

@@ -108,6 +108,18 @@ void writeDiff(const DiffResult &diff, std::ostream &os);
 bool renderDecisionLog(const JsonValue &doc, std::ostream &os,
                        std::string &error);
 
+/**
+ * Render a serving-run SLO report ("wslicer-serve-v1") as a
+ * human-readable per-class summary: outcome accounting (every arrival
+ * must land in exactly one bucket — the renderer re-checks the
+ * conservation law and flags a broken ledger), goodput and
+ * deadline-miss rates, latency percentiles, and the fault/quarantine
+ * trail. Returns false (and writes only `error`) when the document is
+ * not a serve report.
+ */
+bool renderSloReport(const JsonValue &doc, std::ostream &os,
+                     std::string &error);
+
 } // namespace wsl
 
 #endif // WSL_OBS_REPORT_HH

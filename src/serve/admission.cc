@@ -1,0 +1,55 @@
+#include "serve/admission.hh"
+
+#include <bit>
+
+#include "workloads/benchmarks.hh"
+
+namespace wsl {
+
+AdmissionDecision
+AdmissionController::admit(const ServeJob &job, unsigned queueDepth,
+                           Cycle backlogCycles,
+                           unsigned parallelism) const
+{
+    // A request naming a kernel we cannot even look up is refused
+    // before it can consume queue space or skew the estimates.
+    if (!findBenchmark(job.bench))
+        return AdmissionDecision::no(RejectReason::Malformed);
+
+    if (quarantinedFlags[job.tenant])
+        return AdmissionDecision::no(RejectReason::Quarantined);
+
+    const TenantClass &cls = tenants[job.tenant];
+    if (queueDepth >= cls.maxQueue)
+        return AdmissionDecision::no(RejectReason::QueueFull);
+
+    // Deadline-feasibility shed: the backlog drains at roughly
+    // `parallelism` jobs at once, so the expected wait is the
+    // committed work divided by that width. If even the optimistic
+    // solo-speed estimate cannot fit inside the deadline, running the
+    // job would only burn capacity the feasible jobs need — shed now,
+    // explicitly, while the client can still retry elsewhere.
+    const Cycle est_wait =
+        parallelism ? backlogCycles / parallelism : backlogCycles;
+    if (job.arrival + est_wait + job.estServiceCycles > job.deadline)
+        return AdmissionDecision::no(RejectReason::Infeasible);
+
+    return AdmissionDecision::ok();
+}
+
+Cycle
+backoffDelay(unsigned attempt, Cycle base, Cycle cap)
+{
+    if (base == 0)
+        return 0;
+    if (cap < base)
+        cap = base;
+    // base * 2^attempt, saturating at the cap; a shift that would
+    // overflow 64 bits has certainly cleared any representable cap.
+    if (attempt >= 64u - std::bit_width(base))
+        return cap;
+    const Cycle d = base << attempt;
+    return d > cap ? cap : d;
+}
+
+} // namespace wsl

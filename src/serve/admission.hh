@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Admission control and overload shedding for the serving layer.
+ * Admission is a pure function of visible service state — queue
+ * depths, quarantine flags, and a deadline-feasibility estimate — so
+ * every decision is deterministic and explainable. Refusals are
+ * structured (RejectReason), never silent: the alternative, unbounded
+ * queueing, converts overload into unbounded latency for every
+ * tenant, which is exactly what a bounded-queue + shed design
+ * prevents.
+ */
+
+#ifndef WSL_SERVE_ADMISSION_HH
+#define WSL_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/tenant.hh"
+
+namespace wsl {
+
+/** Outcome of one admission test. */
+struct AdmissionDecision
+{
+    bool admitted = false;
+    /** Why not, when refused; whether the refusal counts as a Reject
+     *  (never entered the system) or a Shed (refused for load) is the
+     *  reason's static classification below. */
+    RejectReason reason = RejectReason::None;
+
+    static AdmissionDecision ok() { return {true, RejectReason::None}; }
+    static AdmissionDecision no(RejectReason r) { return {false, r}; }
+};
+
+/** Rejections with this reason are load-shedding (the request was
+ *  well-formed and allowed, the service chose to drop it). */
+inline bool
+isShedReason(RejectReason r)
+{
+    return r == RejectReason::Infeasible;
+}
+
+/**
+ * Admission controller. Owns no queues — the engine passes the
+ * current depths in — so the tests can probe every decision path
+ * without standing up a service.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(std::vector<TenantClass> classes)
+        : tenants(std::move(classes)),
+          quarantinedFlags(tenants.size(), false)
+    {
+    }
+
+    /**
+     * Admission test for one arrival. `queueDepth` is the tenant's
+     * current bounded-queue occupancy; `backlogCycles` the estimated
+     * cycles of work (queued + running remainders, all tenants)
+     * already committed ahead of this job; `parallelism` the number
+     * of kernels the GPU serves concurrently. Checks run cheapest
+     * first: malformed name, quarantine, queue bound, then deadline
+     * feasibility (estimated wait + service must fit the deadline).
+     */
+    AdmissionDecision
+    admit(const ServeJob &job, unsigned queueDepth,
+          Cycle backlogCycles, unsigned parallelism) const;
+
+    /** Mark a tenant quarantined (repeated faults). Sticky for the
+     *  rest of the run: a tenant that injects faults repeatedly has
+     *  forfeited its capacity so the others keep their SLOs. */
+    void quarantine(unsigned tenant) { quarantinedFlags[tenant] = true; }
+    bool quarantined(unsigned tenant) const
+    {
+        return quarantinedFlags[tenant];
+    }
+    unsigned numQuarantined() const
+    {
+        unsigned n = 0;
+        for (const bool q : quarantinedFlags)
+            n += q ? 1 : 0;
+        return n;
+    }
+
+    const std::vector<TenantClass> &classes() const { return tenants; }
+
+  private:
+    std::vector<TenantClass> tenants;
+    std::vector<bool> quarantinedFlags;
+};
+
+/**
+ * Capped exponential backoff delay (in cycles) for retry `attempt`
+ * (0-based): min(base << attempt, cap), shift-safe for any attempt.
+ */
+Cycle backoffDelay(unsigned attempt, Cycle base, Cycle cap);
+
+} // namespace wsl
+
+#endif // WSL_SERVE_ADMISSION_HH

@@ -1,0 +1,141 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/sim_error.hh"
+#include "common/log.hh"
+
+namespace wsl {
+
+ArrivalEngine::ArrivalEngine(const std::vector<TenantClass> &classes,
+                             const ArrivalConfig &cfg_,
+                             std::uint64_t seed)
+    : cfg(cfg_), numTenants(static_cast<unsigned>(classes.size())),
+      rng(seed ? seed : 1)
+{
+    if (classes.empty())
+        throw ConfigError("arrival engine needs at least one tenant");
+
+    switch (cfg.mode) {
+      case ArrivalConfig::Mode::Trace: {
+        // Replay verbatim; stable sort keeps equal-cycle arrivals in
+        // input order so a trace is its own tie-breaker.
+        std::vector<ArrivalSpec> sorted = cfg.trace;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const ArrivalSpec &a, const ArrivalSpec &b) {
+                             return a.cycle < b.cycle;
+                         });
+        for (const ArrivalSpec &a : sorted) {
+            if (a.tenant >= numTenants)
+                throw ConfigError(detail::concat(
+                    "trace arrival names tenant ", a.tenant, " of ",
+                    numTenants));
+            push(a);
+        }
+        break;
+      }
+      case ArrivalConfig::Mode::OpenPoisson: {
+        if (cfg.ratePer10k <= 0.0 || cfg.horizon == 0)
+            break;
+        double total_weight = 0.0;
+        for (const TenantClass &t : classes)
+            total_weight += t.arrivalWeight;
+        if (total_weight <= 0.0)
+            throw ConfigError("arrival weights sum to zero");
+        // Per-tenant independent Poisson streams, generated whole up
+        // front. Tenant order is fixed, so the schedule is a pure
+        // function of (classes, rate, horizon, seed).
+        for (unsigned t = 0; t < numTenants; ++t) {
+            const double lambda = cfg.ratePer10k / 10'000.0 *
+                                  (classes[t].arrivalWeight /
+                                   total_weight);
+            if (lambda <= 0.0)
+                continue;
+            const double mean_gap = 1.0 / lambda;
+            Cycle at = 0;
+            while (true) {
+                at += expGap(mean_gap);
+                if (at >= cfg.horizon)
+                    break;
+                push({at, t, false});
+            }
+        }
+        break;
+      }
+      case ArrivalConfig::Mode::ClosedLoop: {
+        // Each user's first submission lands inside one think window
+        // so the population doesn't arrive as a single burst.
+        for (unsigned t = 0; t < numTenants; ++t)
+            for (unsigned u = 0; u < cfg.usersPerTenant; ++u)
+                push({expGap(static_cast<double>(
+                          std::max<Cycle>(cfg.meanThinkTime, 1))),
+                      t, false});
+        break;
+      }
+    }
+}
+
+Cycle
+ArrivalEngine::expGap(double mean)
+{
+    // Inverse-CDF exponential draw; uniform() < 1 keeps the log
+    // finite. Rounded up so gaps are always at least one cycle.
+    const double u = rng.uniform();
+    const double gap = -mean * std::log(1.0 - u);
+    if (gap >= 9.0e18)
+        return static_cast<Cycle>(9'000'000'000'000'000'000ULL);
+    return static_cast<Cycle>(gap) + 1;
+}
+
+void
+ArrivalEngine::push(ArrivalSpec spec)
+{
+    // Insertion sort on (cycle, seq): streams are near-sorted, the
+    // pending set is small, and the result is a total deterministic
+    // order.
+    const std::uint64_t s = seq++;
+    std::size_t i = pending.size();
+    while (i > 0 && (pending[i - 1].cycle > spec.cycle ||
+                     (pending[i - 1].cycle == spec.cycle &&
+                      pendingSeq[i - 1] > s)))
+        --i;
+    pending.insert(pending.begin() + i, spec);
+    pendingSeq.insert(pendingSeq.begin() + i, s);
+}
+
+std::optional<ArrivalSpec>
+ArrivalEngine::peek() const
+{
+    if (pending.empty())
+        return std::nullopt;
+    return pending.front();
+}
+
+ArrivalSpec
+ArrivalEngine::pop()
+{
+    WSL_ASSERT(!pending.empty(), "pop on an empty arrival stream");
+    const ArrivalSpec a = pending.front();
+    pending.erase(pending.begin());
+    pendingSeq.erase(pendingSeq.begin());
+    return a;
+}
+
+void
+ArrivalEngine::onJobDone(unsigned tenant, Cycle cycle)
+{
+    if (cfg.mode != ArrivalConfig::Mode::ClosedLoop)
+        return;
+    const Cycle gap = expGap(static_cast<double>(
+        std::max<Cycle>(cfg.meanThinkTime, 1)));
+    push({cycle + gap, tenant, false});
+}
+
+void
+ArrivalEngine::injectMalformed(unsigned tenant, Cycle cycle)
+{
+    push({cycle, tenant % std::max(numTenants, 1u), true});
+}
+
+} // namespace wsl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Kernel arrival engine for the serving layer. Three modes, all
+ * deterministic under a fixed seed:
+ *
+ *  - Open-loop Poisson: each tenant class draws exponential
+ *    inter-arrival gaps at rate (overall rate x its arrivalWeight /
+ *    total weight), independent of service progress — the overload
+ *    regime where admission control and shedding matter.
+ *  - Trace-driven: an explicit (cycle, tenant) list replayed verbatim
+ *    (sorted and tie-broken on input order), for reproducing a
+ *    recorded workload or crafting admission tests.
+ *  - Closed-loop: a fixed population of users per tenant; each user
+ *    submits, waits for its job's terminal outcome, thinks for an
+ *    exponential gap, and submits again — throughput self-limits to
+ *    service capacity.
+ *
+ * The engine never observes wall clock; every draw comes from one
+ * seeded Rng, so an arrival schedule is a pure function of
+ * (classes, config, seed) plus — in closed loop — the completion
+ * cycles the service feeds back.
+ */
+
+#ifndef WSL_SERVE_ARRIVAL_HH
+#define WSL_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/tenant.hh"
+
+namespace wsl {
+
+/** One arrival event, before admission. */
+struct ArrivalSpec
+{
+    Cycle cycle = 0;
+    unsigned tenant = 0;
+    /** Injected malformed request (unknown kernel name); produced by
+     *  the chaos harness, rejected by admission. */
+    bool malformed = false;
+};
+
+/** Arrival-generation controls. */
+struct ArrivalConfig
+{
+    enum class Mode { OpenPoisson, Trace, ClosedLoop };
+    Mode mode = Mode::OpenPoisson;
+    /** Open loop: mean arrivals per 10'000 cycles, all tenants. */
+    double ratePer10k = 1.0;
+    /** Trace mode: replayed verbatim (engine sorts by cycle, input
+     *  order breaks ties). */
+    std::vector<ArrivalSpec> trace;
+    /** Closed loop: concurrent users per tenant class. */
+    unsigned usersPerTenant = 2;
+    /** Closed loop: mean think time between a job's terminal outcome
+     *  and the user's next submission. */
+    Cycle meanThinkTime = 20'000;
+    /** Stop generating open-loop arrivals at this cycle. */
+    Cycle horizon = 0;
+};
+
+/** Stateful arrival stream; see file comment. */
+class ArrivalEngine
+{
+  public:
+    ArrivalEngine(const std::vector<TenantClass> &classes,
+                  const ArrivalConfig &cfg, std::uint64_t seed);
+
+    /** Earliest pending arrival without consuming it. */
+    std::optional<ArrivalSpec> peek() const;
+
+    /** Consume the earliest pending arrival. */
+    ArrivalSpec pop();
+
+    /** Closed-loop feedback: a job of `tenant` reached a terminal
+     *  outcome at `cycle`; its user thinks, then resubmits. No-op in
+     *  the open-loop and trace modes. */
+    void onJobDone(unsigned tenant, Cycle cycle);
+
+    /** Chaos hook: splice a malformed arrival into the stream. */
+    void injectMalformed(unsigned tenant, Cycle cycle);
+
+    std::uint64_t generated() const { return seq; }
+
+  private:
+    /** Exponential gap with mean `mean`, at least 1 cycle. */
+    Cycle expGap(double mean);
+    void push(ArrivalSpec spec);
+
+    ArrivalConfig cfg;
+    unsigned numTenants;
+    Rng rng;
+    std::uint64_t seq = 0;
+    /** Pending arrivals, kept sorted by (cycle, insertion order). */
+    std::vector<ArrivalSpec> pending;
+    std::vector<std::uint64_t> pendingSeq;  //!< insertion tie-breaker
+};
+
+} // namespace wsl
+
+#endif // WSL_SERVE_ARRIVAL_HH

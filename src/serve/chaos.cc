@@ -1,0 +1,54 @@
+#include "serve/chaos.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace wsl {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Recoverable: return "recoverable";
+      case FaultKind::Stall:       return "stall";
+      case FaultKind::Malformed:   return "malformed";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::seeded(std::uint64_t seed, unsigned count, Cycle horizon,
+                  unsigned num_tenants)
+{
+    FaultPlan plan;
+    if (count == 0 || num_tenants == 0 || horizon < 16)
+        return plan;
+    Rng rng(seed ? seed : 1);
+    const unsigned victim =
+        static_cast<unsigned>(rng.range(num_tenants));
+    const Cycle lo = horizon / 8;
+    const Cycle span = std::max<Cycle>(horizon * 3 / 4, 1);
+    for (unsigned i = 0; i < count; ++i) {
+        Fault f;
+        f.cycle = lo + rng.range(span);
+        // ~2/3 of the faults hit the seeded victim so the quarantine
+        // threshold is reached while other tenants stay clean enough
+        // to keep their SLO reports meaningful.
+        f.tenant = rng.range(3) < 2
+                       ? victim
+                       : static_cast<unsigned>(rng.range(num_tenants));
+        const std::uint64_t k = rng.range(4);
+        f.kind = k == 3 ? FaultKind::Malformed
+                 : k == 2 ? FaultKind::Stall
+                          : FaultKind::Recoverable;
+        plan.faults.push_back(f);
+    }
+    std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                     [](const Fault &a, const Fault &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return plan;
+}
+
+} // namespace wsl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fault-injection (chaos) harness for the serving layer. A FaultPlan
+ * is a seeded, fully pre-computed list of faults — the plan is data,
+ * not behavior, so a chaos run is exactly as deterministic as a clean
+ * one and two runs with the same seed are byte-identical. Three fault
+ * kinds exercise the three degradation paths the service must prove:
+ *
+ *  - Recoverable: a transient InjectedFault thrown mid-batch; the
+ *    engine must restore the batch's snapshot, back off (capped
+ *    exponential), and retry without losing the co-runners' work.
+ *  - Stall: a watchdog-style hang of the tenant's kernel; same
+ *    recovery path, separately counted (it costs the stalled window,
+ *    not just the retry).
+ *  - Malformed: a garbage arrival (unknown kernel name) spliced into
+ *    the tenant's stream; admission must reject it structurally.
+ *
+ * Every fault is attributed to a tenant; a tenant that keeps faulting
+ * crosses the quarantine threshold and is cut loose so the remaining
+ * tenants keep their SLOs.
+ */
+
+#ifndef WSL_SERVE_CHAOS_HH
+#define WSL_SERVE_CHAOS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+enum class FaultKind {
+    Recoverable, //!< transient error: retry with backoff
+    Stall,       //!< watchdog-style hang: window lost, then retry
+    Malformed,   //!< garbage arrival: reject at admission
+};
+
+const char *faultKindName(FaultKind k);
+
+/** One planned fault. Recoverable/Stall faults fire the first time
+ *  the tenant has a kernel resident at or after `cycle`; Malformed
+ *  faults are injected into the arrival stream at `cycle`. */
+struct Fault
+{
+    Cycle cycle = 0;
+    unsigned tenant = 0;
+    FaultKind kind = FaultKind::Recoverable;
+};
+
+/** A deterministic chaos schedule; see file comment. */
+struct FaultPlan
+{
+    std::vector<Fault> faults;  //!< sorted by (cycle, plan order)
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Seeded plan of `count` faults inside [horizon/8, 7*horizon/8]
+     * (the margins keep faults off the cold start and the drain).
+     * One seeded "victim" tenant draws about two thirds of the
+     * faults so that any count >= the engine's quarantine threshold
+     * demonstrably quarantines one tenant while the rest keep
+     * serving; kinds rotate through recoverable / stall / malformed
+     * with recoverable dominant.
+     */
+    static FaultPlan seeded(std::uint64_t seed, unsigned count,
+                            Cycle horizon, unsigned num_tenants);
+};
+
+} // namespace wsl
+
+#endif // WSL_SERVE_CHAOS_HH

@@ -1,0 +1,698 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "check/sim_error.hh"
+#include "common/log.hh"
+#include "core/warped_slicer.hh"
+#include "obs/decision_log.hh"
+#include "serve/admission.hh"
+#include "snapshot/snapshot.hh"
+#include "workloads/benchmarks.hh"
+
+namespace wsl {
+
+ServeOptions
+resolveServeOptions(ServeOptions o)
+{
+    if (o.window == 0)
+        o.window = defaultWindow();
+    if (o.horizon == 0)
+        o.horizon = 6 * o.window;
+    if (o.quantum == 0)
+        o.quantum = std::max<Cycle>(1, o.window / 4);
+    if (o.classes.empty())
+        o.classes = defaultTenantClasses();
+    if (o.backoffBase == 0)
+        o.backoffBase = std::max<Cycle>(1, o.quantum / 8);
+    if (o.backoffCap == 0)
+        o.backoffCap = o.quantum;
+    if (o.stallPenalty == 0)
+        o.stallPenalty = o.quantum;
+    if (o.drainGrace == 0)
+        o.drainGrace = o.horizon;
+    o.maxBatch = std::clamp(o.maxBatch, 1u, maxConcurrentKernels);
+    if (o.arrivals.horizon == 0)
+        o.arrivals.horizon = o.horizon;
+    return o;
+}
+
+namespace {
+
+constexpr Cycle kNoEvent = ~Cycle{0};
+
+/** Per-class job sizing derived from the solo characterization. */
+struct ClassPlan
+{
+    std::uint64_t target = 1;   //!< thread instructions per job
+    Cycle est = 1;              //!< optimistic (solo) service estimate
+    Cycle slack = 1;            //!< deadline = arrival + slack
+    bool known = false;         //!< the class names a real benchmark
+};
+
+/** One job resident on the machine. */
+struct Resident
+{
+    std::size_t job = 0;            //!< index into ServeResult::jobs
+    KernelId kid = invalidKernel;
+    std::uint64_t doneAtLaunch = 0; //!< job.doneInsts at (re)launch
+};
+
+class ServeEngine
+{
+  public:
+    explicit ServeEngine(const ServeOptions &options)
+        : opt(resolveServeOptions(options)),
+          chars(opt.cfg, opt.window),
+          arrivals(opt.classes, opt.arrivals, opt.seed),
+          admission(opt.classes),
+          result(opt.classes),
+          plans(opt.classes.size()),
+          queues(opt.classes.size()),
+          backoffUntil(opt.classes.size(), 0),
+          faultCount(opt.classes.size(), 0)
+    {
+    }
+
+    ServeResult run();
+
+  private:
+    void prepare();
+    void ingest();
+    void expire();
+    void schedule();
+    void runSlice();
+    bool advanceIdle();
+    void finalize();
+
+    void makeJob(const ArrivalSpec &spec);
+    void feedback(const ServeJob &job);
+    Cycle estRemaining(const ServeJob &job) const;
+    Cycle backlogEstimate() const;
+    int bestCandidate() const;
+    unsigned inFlight(unsigned tenant) const;
+    std::vector<Resident>::iterator residentOf(unsigned tenant);
+    void admitToGpu(unsigned tenant);
+    void preempt(std::size_t idx);
+    void buildMachine();
+    void harvestProgress();
+    void harvestCompletions();
+    int nextFault(Cycle end) const;
+    void handleFault(int fi, const std::vector<std::uint8_t> &snap);
+    void quarantineTenant(unsigned tenant);
+    void restoreMachine(const std::vector<std::uint8_t> &snap);
+    void organicFailure(const SimError &err);
+
+    Cycle drainLimit() const { return opt.horizon + opt.drainGrace; }
+
+    ServeOptions opt;
+    Characterization chars;
+    ArrivalEngine arrivals;
+    AdmissionController admission;
+    ServeResult result;
+
+    std::vector<ClassPlan> plans;
+    std::vector<std::deque<std::size_t>> queues;
+    std::vector<Cycle> backoffUntil;
+    std::vector<unsigned> faultCount;
+
+    /** Recoverable/Stall faults awaiting their tenant's residency
+     *  (Malformed faults are spliced into the arrival stream). */
+    std::vector<Fault> runtimeFaults;
+    std::vector<bool> faultConsumed;
+
+    std::vector<Resident> residents;
+    std::unique_ptr<Gpu> gpu;
+    Cycle gpuBase = 0;   //!< service cycle the machine's cycle 0 maps to
+    unsigned launches = 0; //!< kernel-table entries consumed on `gpu`
+    Cycle now = 0;       //!< service clock
+};
+
+ServeResult
+ServeEngine::run()
+{
+    prepare();
+    while (true) {
+        ingest();
+        expire();
+        schedule();
+        if (residents.empty()) {
+            if (!advanceIdle())
+                break;
+            continue;
+        }
+        runSlice();
+        if (now >= drainLimit())
+            break;
+    }
+    finalize();
+    return std::move(result);
+}
+
+void
+ServeEngine::prepare()
+{
+    for (std::size_t t = 0; t < opt.classes.size(); ++t) {
+        const TenantClass &cls = opt.classes[t];
+        ClassPlan &plan = plans[t];
+        plan.known = findBenchmark(cls.bench) != nullptr;
+        if (!plan.known)
+            continue;  // admission rejects its jobs as malformed
+        const double scale = std::max(cls.jobScale, 1e-6);
+        plan.target = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::llround(chars.target(cls.bench) * scale)));
+        plan.est = std::max<Cycle>(
+            1, static_cast<Cycle>(std::llround(opt.window * scale)));
+        plan.slack = std::max<Cycle>(
+            plan.est, static_cast<Cycle>(
+                          std::llround(plan.est * cls.slackFactor)));
+    }
+    for (const Fault &f : opt.chaos.faults) {
+        if (f.tenant >= opt.classes.size())
+            continue;
+        if (f.kind == FaultKind::Malformed)
+            arrivals.injectMalformed(f.tenant, f.cycle);
+        else
+            runtimeFaults.push_back(f);
+    }
+    faultConsumed.assign(runtimeFaults.size(), false);
+}
+
+void
+ServeEngine::ingest()
+{
+    while (auto a = arrivals.peek()) {
+        if (a->cycle > now)
+            break;
+        const ArrivalSpec spec = arrivals.pop();
+        // The service closes its doors at the horizon; a closed-loop
+        // user whose think time straddles it simply stops.
+        if (spec.cycle >= opt.horizon)
+            continue;
+        makeJob(spec);
+    }
+}
+
+void
+ServeEngine::makeJob(const ArrivalSpec &spec)
+{
+    const ClassPlan &plan = plans[spec.tenant];
+    ServeJob job;
+    job.id = result.jobs.size();
+    job.tenant = spec.tenant;
+    job.bench = spec.malformed ? "__chaos_malformed__"
+                               : opt.classes[spec.tenant].bench;
+    job.arrival = spec.cycle;
+    job.targetInsts = plan.target;
+    job.estServiceCycles = plan.est;
+    job.deadline = spec.cycle + plan.slack;
+
+    const AdmissionDecision d = admission.admit(
+        job, static_cast<unsigned>(queues[spec.tenant].size()),
+        backlogEstimate(), opt.maxBatch);
+    if (d.admitted) {
+        result.jobs.push_back(std::move(job));
+        queues[spec.tenant].push_back(result.jobs.size() - 1);
+        return;
+    }
+    job.reason = d.reason;
+    job.outcome =
+        isShedReason(d.reason) ? JobOutcome::Shed : JobOutcome::Rejected;
+    job.finishCycle = spec.cycle;
+    result.jobs.push_back(std::move(job));
+    feedback(result.jobs.back());
+}
+
+void
+ServeEngine::feedback(const ServeJob &job)
+{
+    if (job.finishCycle < opt.horizon)
+        arrivals.onJobDone(job.tenant, job.finishCycle);
+}
+
+Cycle
+ServeEngine::estRemaining(const ServeJob &job) const
+{
+    if (job.targetInsts == 0)
+        return job.estServiceCycles;
+    return static_cast<Cycle>(
+        static_cast<double>(job.estServiceCycles) *
+        job.remainingInsts() / job.targetInsts);
+}
+
+Cycle
+ServeEngine::backlogEstimate() const
+{
+    Cycle total = 0;
+    for (const auto &q : queues)
+        for (const std::size_t j : q)
+            total += estRemaining(result.jobs[j]);
+    for (const Resident &r : residents)
+        total += estRemaining(result.jobs[r.job]);
+    return total;
+}
+
+void
+ServeEngine::expire()
+{
+    for (auto &q : queues) {
+        for (std::size_t i = 0; i < q.size();) {
+            ServeJob &job = result.jobs[q[i]];
+            if (job.deadline > now) {
+                ++i;
+                continue;
+            }
+            job.outcome = JobOutcome::TimedOut;
+            job.finishCycle = now;
+            feedback(job);
+            q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+    }
+}
+
+unsigned
+ServeEngine::inFlight(unsigned tenant) const
+{
+    unsigned n = 0;
+    for (const Resident &r : residents)
+        n += result.jobs[r.job].tenant == tenant ? 1 : 0;
+    return n;
+}
+
+std::vector<Resident>::iterator
+ServeEngine::residentOf(unsigned tenant)
+{
+    return std::find_if(residents.begin(), residents.end(),
+                        [&](const Resident &r) {
+                            return result.jobs[r.job].tenant == tenant;
+                        });
+}
+
+int
+ServeEngine::bestCandidate() const
+{
+    int best = -1;
+    for (unsigned t = 0; t < queues.size(); ++t) {
+        if (queues[t].empty() || admission.quarantined(t))
+            continue;
+        if (now < backoffUntil[t])
+            continue;
+        if (inFlight(t) >= opt.classes[t].maxInFlight)
+            continue;
+        const ServeJob &j = result.jobs[queues[t].front()];
+        if (best < 0)
+            best = static_cast<int>(t);
+        else {
+            const ServeJob &b = result.jobs[queues[best].front()];
+            if (j.deadline < b.deadline ||
+                (j.deadline == b.deadline && j.id < b.id))
+                best = static_cast<int>(t);
+        }
+    }
+    return best;
+}
+
+void
+ServeEngine::schedule()
+{
+    while (true) {
+        const int t = bestCandidate();
+        if (t < 0)
+            return;
+        if (residents.size() < opt.maxBatch) {
+            admitToGpu(static_cast<unsigned>(t));
+            continue;
+        }
+        // Machine full: preempt only when the waiting job's deadline
+        // strictly beats the loosest resident's. Every such swap
+        // strictly lowers the resident deadline sum, so this loop
+        // terminates, and the preempted job (now the looser one)
+        // cannot swap straight back in.
+        std::size_t worst = 0;
+        for (std::size_t i = 1; i < residents.size(); ++i)
+            if (result.jobs[residents[i].job].deadline >
+                result.jobs[residents[worst].job].deadline)
+                worst = i;
+        const ServeJob &cand =
+            result.jobs[queues[static_cast<unsigned>(t)].front()];
+        if (cand.deadline >= result.jobs[residents[worst].job].deadline)
+            return;
+        preempt(worst);
+        admitToGpu(static_cast<unsigned>(t));
+    }
+}
+
+void
+ServeEngine::admitToGpu(unsigned tenant)
+{
+    const std::size_t ji = queues[tenant].front();
+    queues[tenant].pop_front();
+    ServeJob &job = result.jobs[ji];
+
+    // The kernel table is append-only: launch live while entries
+    // remain (the policy repartitions around the newcomer), otherwise
+    // rebuild the machine around the survivors' checkpoints.
+    const bool live = gpu && launches < maxConcurrentKernels;
+    if (!live) {
+        harvestProgress();
+        if (gpu)
+            ++result.rebuilds;
+        buildMachine();
+    } else if (residents.empty()) {
+        // The machine sat idle (its local clock stopped while the
+        // service clock ran on); re-anchor so the idle gap is a shift
+        // in the mapping, not cycles the kernel must simulate through.
+        gpuBase = now - gpu->cycle();
+    }
+
+    const KernelParams *params = findBenchmark(job.bench);
+    WSL_ASSERT(params, detail::concat(
+                           "admitted job with unknown kernel ",
+                           job.bench));
+    Resident r;
+    r.job = ji;
+    r.doneAtLaunch = job.doneInsts;
+    r.kid = gpu->launchKernel(*params, job.remainingInsts());
+    ++launches;
+    if (live)
+        ++result.liveLaunches;
+    if (job.startCycle == 0)
+        job.startCycle = now;
+    job.outcome = JobOutcome::Running;
+    residents.push_back(r);
+}
+
+void
+ServeEngine::preempt(std::size_t idx)
+{
+    const Resident r = residents[idx];
+    ServeJob &job = result.jobs[r.job];
+    job.doneInsts = r.doneAtLaunch + gpu->kernelThreadInsts(r.kid);
+    gpu->haltKernel(r.kid);
+    job.outcome = JobOutcome::Pending;
+    ++job.preemptions;
+    result.slo.recordPreemption(job.tenant);
+    ++result.preemptions;
+    queues[job.tenant].push_front(r.job);
+    residents.erase(residents.begin() +
+                    static_cast<std::ptrdiff_t>(idx));
+}
+
+void
+ServeEngine::buildMachine()
+{
+    std::unique_ptr<SlicingPolicy> policy =
+        makePolicy(opt.kind, scaledSlicerOptions(opt.window));
+    SlicingPolicy *raw = policy.get();
+    gpu = std::make_unique<Gpu>(opt.cfg, std::move(policy));
+    if (opt.decisionLog)
+        if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(raw))
+            dyn->attachDecisionLog(opt.decisionLog);
+    gpuBase = now;
+    launches = 0;
+    for (Resident &r : residents) {
+        ServeJob &job = result.jobs[r.job];
+        r.doneAtLaunch = job.doneInsts;
+        r.kid = gpu->launchKernel(*findBenchmark(job.bench),
+                                  job.remainingInsts());
+        ++launches;
+    }
+}
+
+void
+ServeEngine::harvestProgress()
+{
+    if (!gpu)
+        return;
+    for (const Resident &r : residents) {
+        ServeJob &job = result.jobs[r.job];
+        job.doneInsts = r.doneAtLaunch + gpu->kernelThreadInsts(r.kid);
+    }
+}
+
+void
+ServeEngine::harvestCompletions()
+{
+    for (std::size_t i = 0; i < residents.size();) {
+        const Resident &r = residents[i];
+        const KernelInstance &k = gpu->kernel(r.kid);
+        if (!k.done) {
+            ++i;
+            continue;
+        }
+        ServeJob &job = result.jobs[r.job];
+        job.doneInsts = r.doneAtLaunch + gpu->kernelThreadInsts(r.kid);
+        job.outcome = JobOutcome::Completed;
+        job.finishCycle = gpuBase + k.finishCycle;
+        WSL_DASSERT(job.finishCycle >= job.arrival,
+                    "completion before arrival: clock mapping broken");
+        job.deadlineMet = job.finishCycle <= job.deadline;
+        feedback(job);
+        residents.erase(residents.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    }
+}
+
+int
+ServeEngine::nextFault(Cycle end) const
+{
+    int best = -1;
+    Cycle bestAt = kNoEvent;
+    for (std::size_t i = 0; i < runtimeFaults.size(); ++i) {
+        if (faultConsumed[i])
+            continue;
+        const Fault &f = runtimeFaults[i];
+        // A fault fires the first time its tenant is resident at or
+        // after its cycle, so an overdue fault fires right now.
+        const Cycle at = std::max(f.cycle, now);
+        if (at > end || at >= bestAt)
+            continue;
+        bool resident = false;
+        for (const Resident &r : residents)
+            resident |= result.jobs[r.job].tenant == f.tenant;
+        if (!resident)
+            continue;
+        best = static_cast<int>(i);
+        bestAt = at;
+    }
+    return best;
+}
+
+void
+ServeEngine::runSlice()
+{
+    const Cycle sliceStart = now;
+    Cycle end = now + opt.quantum;
+    if (auto a = arrivals.peek())
+        if (a->cycle > now && a->cycle < end)
+            end = a->cycle;
+    if (end > drainLimit())
+        end = std::max(drainLimit(), now + 1);
+
+    const int fi = nextFault(end);
+    std::vector<std::uint8_t> snap;
+    if (fi >= 0) {
+        // A pending fault could hit this slice: checkpoint so the
+        // rollback costs the co-runners only the uncommitted slice.
+        snap = saveSnapshot(*gpu);
+        ++result.snapshots;
+    }
+    const Cycle target =
+        fi >= 0 ? std::max(runtimeFaults[fi].cycle, now) : end;
+
+    WSL_DASSERT(now == gpuBase + gpu->cycle(),
+                "service clock out of sync with the machine");
+    try {
+        // run() advances by a delta; the two clocks tick together, so
+        // the service-cycle distance IS the local-cycle distance.
+        gpu->run(target - now);
+        now = gpuBase + gpu->cycle();
+        ++result.slices;
+        if (fi >= 0) {
+            const Fault &f = runtimeFaults[fi];
+            auto it = residentOf(f.tenant);
+            const bool live =
+                it != residents.end() && !gpu->kernel(it->kid).done;
+            // The victim outran the fault (kernel drained first): the
+            // fault stays pending for the tenant's next residency.
+            if (live && now >= f.cycle)
+                throw InjectedFault(
+                    detail::concat("chaos ", faultKindName(f.kind),
+                                   " fault, tenant ",
+                                   opt.classes[f.tenant].name,
+                                   ", cycle ", now),
+                    f.kind == FaultKind::Stall);
+        }
+        harvestCompletions();
+    } catch (const InjectedFault &) {
+        handleFault(fi, snap);
+    } catch (const SimError &e) {
+        if (e.kind() == SimError::Kind::Config ||
+            e.kind() == SimError::Kind::Snapshot)
+            throw;
+        organicFailure(e);
+    }
+    (void)sliceStart;
+}
+
+void
+ServeEngine::handleFault(int fi, const std::vector<std::uint8_t> &snap)
+{
+    const Fault f = runtimeFaults[static_cast<std::size_t>(fi)];
+    faultConsumed[static_cast<std::size_t>(fi)] = true;
+    ++result.faultsInjected;
+    result.slo.recordFault(f.tenant, f.kind == FaultKind::Stall);
+    ++faultCount[f.tenant];
+
+    // Roll the machine back to the slice-start checkpoint; the lost
+    // interval (plus the watchdog latency for a stall) stays charged
+    // as service time.
+    restoreMachine(snap);
+    ++result.restores;
+    if (f.kind == FaultKind::Stall)
+        now += opt.stallPenalty;
+    gpuBase = now - gpu->cycle();
+
+    auto it = residentOf(f.tenant);
+    WSL_ASSERT(it != residents.end(),
+               "fault victim lost across restore");
+    const Resident r = *it;
+    ServeJob &job = result.jobs[r.job];
+    job.doneInsts = r.doneAtLaunch + gpu->kernelThreadInsts(r.kid);
+
+    if (faultCount[f.tenant] >= opt.quarantineThreshold &&
+        !admission.quarantined(f.tenant)) {
+        quarantineTenant(f.tenant);
+        return;
+    }
+
+    ++job.retries;
+    result.slo.recordRetry(f.tenant);
+    ++result.retries;
+    gpu->haltKernel(r.kid);
+    residents.erase(it);
+    if (job.retries > opt.maxRetries) {
+        job.outcome = JobOutcome::Failed;
+        job.finishCycle = now;
+        feedback(job);
+        return;
+    }
+    job.outcome = JobOutcome::Pending;
+    backoffUntil[f.tenant] =
+        now + backoffDelay(job.retries - 1, opt.backoffBase,
+                           opt.backoffCap);
+    queues[f.tenant].push_front(r.job);
+}
+
+void
+ServeEngine::quarantineTenant(unsigned tenant)
+{
+    admission.quarantine(tenant);
+    result.slo.markQuarantined(tenant);
+    result.quarantinedClasses.push_back(opt.classes[tenant].name);
+
+    auto it = residentOf(tenant);
+    if (it != residents.end()) {
+        const Resident r = *it;
+        ServeJob &victim = result.jobs[r.job];
+        victim.doneInsts =
+            r.doneAtLaunch + gpu->kernelThreadInsts(r.kid);
+        gpu->haltKernel(r.kid);
+        residents.erase(it);
+        victim.outcome = JobOutcome::Failed;
+        victim.finishCycle = now;
+        feedback(victim);
+    }
+    // The backlog goes with the tenant: keeping it queued would only
+    // time out while blocking admission estimates for the healthy
+    // classes.
+    for (const std::size_t j : queues[tenant]) {
+        ServeJob &job = result.jobs[j];
+        job.outcome = JobOutcome::Shed;
+        job.reason = RejectReason::Quarantined;
+        job.finishCycle = now;
+        feedback(job);
+    }
+    queues[tenant].clear();
+}
+
+void
+ServeEngine::restoreMachine(const std::vector<std::uint8_t> &snap)
+{
+    std::unique_ptr<SlicingPolicy> policy =
+        makePolicy(opt.kind, scaledSlicerOptions(opt.window));
+    SlicingPolicy *raw = policy.get();
+    auto fresh = std::make_unique<Gpu>(opt.cfg, std::move(policy));
+    if (opt.decisionLog)
+        if (auto *dyn = dynamic_cast<WarpedSlicerPolicy *>(raw))
+            dyn->attachDecisionLog(opt.decisionLog);
+    restoreSnapshot(*fresh, snap);
+    gpu = std::move(fresh);
+    // The restored kernel table matches the captured one, so
+    // `launches` and every Resident's kid/doneAtLaunch still hold.
+}
+
+void
+ServeEngine::organicFailure(const SimError &err)
+{
+    ++result.invariantViolations;
+    warn("serve: ", err.kindName(), " error at service cycle ", now,
+         ": ", err.what());
+    if (gpu)
+        now = std::max(now + 1, gpuBase + gpu->cycle());
+    else
+        ++now;
+    for (const Resident &r : residents) {
+        ServeJob &job = result.jobs[r.job];
+        job.outcome = JobOutcome::Failed;
+        job.finishCycle = now;
+        feedback(job);
+    }
+    residents.clear();
+    gpu.reset();
+    launches = 0;
+}
+
+bool
+ServeEngine::advanceIdle()
+{
+    Cycle next = kNoEvent;
+    if (auto a = arrivals.peek())
+        next = std::min(next, a->cycle);
+    for (unsigned t = 0; t < queues.size(); ++t)
+        if (!queues[t].empty())
+            next = std::min(next, std::max(now + 1, backoffUntil[t]));
+    if (next == kNoEvent)
+        return false;  // no pending work anywhere: the run is over
+    now = std::max(now + 1, next);
+    return now < drainLimit();
+}
+
+void
+ServeEngine::finalize()
+{
+    harvestProgress();
+    gpu.reset();
+    result.endCycle = now;
+    for (const ServeJob &job : result.jobs) {
+        result.slo.recordOutcome(job);
+        result.threadInsts += job.doneInsts;
+    }
+    result.fairness = result.slo.fairnessIndex();
+}
+
+} // namespace
+
+ServeResult
+runServe(const ServeOptions &opts)
+{
+    ServeEngine engine(opts);
+    return engine.run();
+}
+
+} // namespace wsl

@@ -1,0 +1,48 @@
+#include "serve/tenant.hh"
+
+namespace wsl {
+
+const char *
+jobOutcomeName(JobOutcome o)
+{
+    switch (o) {
+      case JobOutcome::Pending:   return "pending";
+      case JobOutcome::Running:   return "running";
+      case JobOutcome::Completed: return "completed";
+      case JobOutcome::Rejected:  return "rejected";
+      case JobOutcome::Shed:      return "shed";
+      case JobOutcome::TimedOut:  return "timed-out";
+      case JobOutcome::Failed:    return "failed";
+    }
+    return "unknown";
+}
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::None:        return "none";
+      case RejectReason::QueueFull:   return "queue-full";
+      case RejectReason::Quarantined: return "quarantined";
+      case RejectReason::Malformed:   return "malformed";
+      case RejectReason::Infeasible:  return "infeasible";
+    }
+    return "unknown";
+}
+
+std::vector<TenantClass>
+defaultTenantClasses()
+{
+    // NN is the paper's cache-sensitive inference kernel (the
+    // motivating latency-critical tenant), MM the compute-bound
+    // throughput tenant, LBM the memory-streaming bulk tenant. Job
+    // sizes and slack mirror the roles: interactive jobs are small
+    // with tight deadlines, bulk jobs are big with loose ones.
+    return {
+        {"interactive", "NN", 0.25, 6.0, 16, 1, 3.0},
+        {"batch", "MM", 0.75, 10.0, 12, 2, 1.5},
+        {"bulk", "LBM", 1.0, 16.0, 8, 1, 1.0},
+    };
+}
+
+} // namespace wsl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tenant and job model for the multi-tenant serving layer. A *tenant
+ * class* describes one population of users (which kernel they run, how
+ * much work a job is, how tight its deadline is, and how much of the
+ * machine the class may occupy); a *ServeJob* is one admitted or
+ * refused kernel-launch request flowing through the service. Every
+ * job ends in exactly one structured outcome — there is no unbounded
+ * queueing and no silent loss.
+ */
+
+#ifndef WSL_SERVE_TENANT_HH
+#define WSL_SERVE_TENANT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wsl {
+
+/** Terminal (or, for Pending/Running, current) state of one job. */
+enum class JobOutcome {
+    Pending,   //!< queued, not yet dispatched
+    Running,   //!< resident on the GPU
+    Completed, //!< reached its instruction target
+    Rejected,  //!< refused at admission (see RejectReason)
+    Shed,      //!< admitted but dropped by overload shedding
+    TimedOut,  //!< deadline passed before completion
+    Failed,    //!< faulted and exhausted its retry budget
+};
+
+const char *jobOutcomeName(JobOutcome o);
+
+/** Why admission control refused or shed a job. */
+enum class RejectReason {
+    None,
+    QueueFull,    //!< the tenant's bounded queue is at capacity
+    Quarantined,  //!< the tenant is quarantined for repeated faults
+    Malformed,    //!< the arrival names an unknown kernel
+    Infeasible,   //!< predicted completion already misses the deadline
+};
+
+const char *rejectReasonName(RejectReason r);
+
+/**
+ * One tenant class. `jobScale` sizes a job relative to the solo
+ * characterization window (1.0 = a window's worth of the kernel's
+ * thread instructions); `slackFactor` turns the solo service estimate
+ * into a deadline (deadline = arrival + slack x estimate, so values
+ * below the expected co-run slowdown make the class latency-critical).
+ */
+struct TenantClass
+{
+    std::string name;          //!< e.g. "interactive"
+    std::string bench;         //!< Table II kernel the class launches
+    double jobScale = 1.0;     //!< job size vs. the solo window target
+    double slackFactor = 6.0;  //!< deadline slack over the solo estimate
+    unsigned maxQueue = 16;    //!< bounded queue depth (admission)
+    unsigned maxInFlight = 1;  //!< concurrent kernels on the GPU
+    double arrivalWeight = 1.0; //!< share of the open-loop arrival rate
+};
+
+/** The default three-class mix: a latency-critical cache-sensitive
+ *  inference tenant, a throughput compute tenant, and a bulk
+ *  streaming-analytics tenant. */
+std::vector<TenantClass> defaultTenantClasses();
+
+/** One kernel-launch request moving through the service. */
+struct ServeJob
+{
+    std::uint64_t id = 0;      //!< dense arrival order, the tie-breaker
+    unsigned tenant = 0;       //!< index into the tenant-class table
+    std::string bench;         //!< requested kernel (may be malformed)
+    Cycle arrival = 0;
+    Cycle deadline = 0;
+    std::uint64_t targetInsts = 0;  //!< total thread-instruction work
+    std::uint64_t doneInsts = 0;    //!< checkpointed progress
+    Cycle estServiceCycles = 0;     //!< solo-run service estimate
+    Cycle startCycle = 0;           //!< first dispatch (0 = never ran)
+    Cycle finishCycle = 0;          //!< terminal-outcome cycle
+    unsigned retries = 0;           //!< fault-retry attempts consumed
+    unsigned preemptions = 0;       //!< times evicted for a tighter job
+    JobOutcome outcome = JobOutcome::Pending;
+    RejectReason reason = RejectReason::None;
+    bool deadlineMet = false;       //!< Completed before the deadline
+
+    std::uint64_t remainingInsts() const
+    {
+        return targetInsts > doneInsts ? targetInsts - doneInsts : 0;
+    }
+};
+
+} // namespace wsl
+
+#endif // WSL_SERVE_TENANT_HH

@@ -228,12 +228,20 @@ allBenchmarks()
 const KernelParams &
 benchmark(const std::string &name)
 {
-    for (const auto &k : allBenchmarks())
-        if (k.name == name)
-            return k;
+    if (const KernelParams *k = findBenchmark(name))
+        return *k;
     // Recoverable: a sweep job naming a bogus benchmark should fail
     // that job, not the process.
     throw ConfigError("unknown benchmark: " + name);
+}
+
+const KernelParams *
+findBenchmark(const std::string &name)
+{
+    for (const auto &k : allBenchmarks())
+        if (k.name == name)
+            return &k;
+    return nullptr;
 }
 
 std::vector<KernelParams>

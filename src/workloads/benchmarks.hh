@@ -20,6 +20,14 @@ const std::vector<KernelParams> &allBenchmarks();
 /** Look up a benchmark by its Table II abbreviation (e.g. "BLK"). */
 const KernelParams &benchmark(const std::string &name);
 
+/**
+ * Non-throwing lookup: nullptr for an unknown name. The serving
+ * layer's admission control and the example drivers validate
+ * user/tenant-supplied names with this instead of letting
+ * benchmark()'s ConfigError unwind through them.
+ */
+const KernelParams *findBenchmark(const std::string &name);
+
 /** Benchmarks of one application class. */
 std::vector<KernelParams> benchmarksOfClass(AppClass cls);
 

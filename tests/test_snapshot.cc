@@ -156,6 +156,61 @@ TEST(Snapshot, RoundTripMatchesUninterruptedRun)
     }
 }
 
+TEST(Snapshot, PreemptAndResumeMatchesUninterrupted)
+{
+    // The serving layer's preemption path: checkpoint the machine,
+    // evict one mid-flight kernel (haltKernel), keep serving the
+    // survivor, and later re-admit the preempted kernel by restoring
+    // the checkpoint. The re-admitted run must land on final stats
+    // byte-identical to a run that was never preempted.
+    const GpuConfig cfg = variantConfig({true, 1});
+    auto makeTargeted = [&] {
+        auto gpu = std::make_unique<Gpu>(
+            cfg, std::make_unique<WarpedSlicerPolicy>(
+                     scaledSlicerOptions(kWindow)));
+        gpu->launchKernel(benchmark("MM"), 5'000'000);
+        gpu->launchKernel(benchmark("LBM"), 3'000'000);
+        return gpu;
+    };
+
+    auto cold = makeTargeted();
+    cold->run(50'000'000);
+    ASSERT_TRUE(cold->allKernelsDone());
+    const MachineDigest want = digest(*cold);
+
+    // Checkpoint mid-flight, then preempt kernel 1 on the donor.
+    auto donor = makeTargeted();
+    donor->run(kSplit);
+    const std::vector<std::uint8_t> snap = saveSnapshot(*donor);
+    ASSERT_FALSE(donor->kernel(1).done);
+    const std::uint64_t preempted_insts = donor->kernelThreadInsts(1);
+    EXPECT_GT(preempted_insts, 0u);
+    donor->haltKernel(1);
+    EXPECT_TRUE(donor->kernel(1).done);
+    EXPECT_TRUE(donor->kernel(1).halted);
+    EXPECT_EQ(donor->kernel(1).finishCycle, kSplit);
+    // Executed-work accounting survives the eviction: the preempted
+    // job's instruction-level checkpoint is readable post-halt.
+    EXPECT_EQ(donor->kernelThreadInsts(1), preempted_insts);
+
+    // The degraded machine keeps serving the survivor to completion
+    // (it halts organically at its instruction target).
+    donor->run(50'000'000);
+    ASSERT_TRUE(donor->allKernelsDone());
+    EXPECT_GE(donor->kernelThreadInsts(0), 5'000'000u);
+
+    // Re-admit: the checkpoint carries the evicted kernel's mid-flight
+    // state, so resuming finishes both kernels bit-identically.
+    auto resumed = std::make_unique<Gpu>(
+        cfg, std::make_unique<WarpedSlicerPolicy>(
+                 scaledSlicerOptions(kWindow)));
+    restoreSnapshot(*resumed, snap);
+    EXPECT_EQ(resumed->cycle(), kSplit);
+    resumed->run(50'000'000);
+    ASSERT_TRUE(resumed->allKernelsDone());
+    expectDigestsEqual(digest(*resumed), want);
+}
+
 TEST(Snapshot, RestoreCrossesEngineVariants)
 {
     // Capture under the serial skipping engine, restore under every

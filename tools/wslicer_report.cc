@@ -18,6 +18,12 @@
  *       either input is malformed. Thread-sensitive keys are skipped
  *       when the two runs were recorded on hosts with different
  *       hardware_threads.
+ *
+ *   wslicer-report slo <serve.json>
+ *       Render a serving-run SLO report (`wslicer-sim serve --slo`)
+ *       as a per-class summary and re-check its outcome-conservation
+ *       ledger. Exit 0 on a clean ledger, 1 when the ledger is
+ *       broken, 2 when the input is not a serve report.
  */
 
 #include <cstdlib>
@@ -38,7 +44,8 @@ usage()
         << "usage: wslicer-report explain <decisions.json>\n"
         << "       wslicer-report check <manifest.json>\n"
         << "       wslicer-report diff <base.json> <fresh.json>"
-        << " [--threshold X]\n";
+        << " [--threshold X]\n"
+        << "       wslicer-report slo <serve.json>\n";
     return 2;
 }
 
@@ -79,6 +86,8 @@ main(int argc, char **argv)
         cmd = "explain";
     else if (cmd == "--diff")
         cmd = "diff";
+    else if (cmd == "--slo")
+        cmd = "slo";
 
     if (cmd == "explain") {
         wsl::JsonValue doc;
@@ -105,6 +114,24 @@ main(int argc, char **argv)
         }
         std::cout << argv[2] << ": ok\n";
         return 0;
+    }
+
+    if (cmd == "slo") {
+        wsl::JsonValue doc;
+        if (!loadJson(argv[2], doc))
+            return 2;
+        std::string error;
+        std::ostringstream rendered;
+        if (!wsl::renderSloReport(doc, rendered, error)) {
+            std::cerr << "wslicer-report: " << argv[2] << ": "
+                      << error << "\n";
+            return 2;
+        }
+        std::cout << rendered.str();
+        // The renderer re-verifies the outcome-conservation ledger;
+        // surface a broken one as a failing exit for CI gates.
+        return rendered.str().find("BROKEN") == std::string::npos ? 0
+                                                                  : 1;
     }
 
     if (cmd == "diff") {

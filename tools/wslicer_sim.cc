@@ -26,6 +26,19 @@
  *       Exhaustively evaluate every feasible CTA partition (the
  *       oracle's search space).
  *
+ *   wslicer-sim serve [--rate R] [--closed-loop] [--horizon N]
+ *       [--quantum N] [--max-batch K] [--seed N]
+ *       [--chaos-seed N [--chaos-faults N]] [--slo FILE]
+ *       Run the long-lived multi-tenant serving layer: seeded
+ *       open-loop Poisson (or closed-loop) arrivals over the default
+ *       tenant-class mix, admission control with bounded queues and
+ *       deadline-feasibility shedding, EDF dispatch with preemption,
+ *       and — with --chaos-seed — seeded fault injection with
+ *       snapshot-rollback recovery and tenant quarantine. --slo
+ *       writes the per-class SLO report (wslicer-report slo renders
+ *       it). Exits non-zero if any organic invariant violation
+ *       occurred.
+ *
  * Global options: --csv FILE | --json FILE write the result table to a
  * file in addition to the text output. --jobs N (or WSL_JOBS) runs
  * independent simulations on N worker threads (0 = all hardware
@@ -48,6 +61,7 @@
 #include "obs/manifest.hh"
 #include "obs/registry.hh"
 #include "report/table.hh"
+#include "serve/engine.hh"
 #include "snapshot/snapshot.hh"
 #include "telemetry/telemetry.hh"
 #include "telemetry/timeline.hh"
@@ -83,6 +97,16 @@ struct Options
     Cycle checkpointEvery = 0;    //!< periodic checkpoint cadence
     std::string restorePath;      //!< resume from this snapshot
     Cycle statsInterval = 0;  //!< 0 = telemetry off
+    // ---- serve ----
+    double rate = 1.0;            //!< open-loop arrivals per 10k cycles
+    bool closedLoop = false;
+    Cycle horizon = 0;            //!< 0 = 6x window
+    Cycle quantum = 0;            //!< 0 = window / 4
+    unsigned maxBatch = 3;
+    std::uint64_t seed = 1;
+    std::uint64_t chaosSeed = 0;  //!< 0 = chaos off
+    unsigned chaosFaults = 6;
+    std::string sloPath;          //!< SLO JSON report
     unsigned jobs = defaultJobs();  //!< worker threads (WSL_JOBS)
     /** Intra-run tick threads (WSL_TICK_THREADS); composed against
      *  --jobs by the batch paths so the two never oversubscribe. */
@@ -94,7 +118,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s list | solo BENCH | curves BENCH | "
-                 "corun B1 B2 [B3] | combos B1 B2 [options]\n"
+                 "corun B1 B2 [B3] | combos B1 B2 | serve [options]\n"
                  "options: --cycles N --window N --ctas Q --large\n"
                  "         --preset baseline|large|dc (dc: 128 SMs / "
                  "32 partitions, engine-scaling machine)\n"
@@ -117,7 +141,12 @@ usage(const char *argv0)
                  "checkpointing (corun): --snapshot FILE "
                  "[--snapshot-at N | --checkpoint-every N]\n"
                  "         --restore FILE (resume a checkpointed run; "
-                 "bit-identical to the uninterrupted run)\n",
+                 "bit-identical to the uninterrupted run)\n"
+                 "serving (serve): --rate R (arrivals per 10k cycles) "
+                 "--closed-loop --horizon N --quantum N\n"
+                 "         --max-batch K --seed N --slo FILE\n"
+                 "         --chaos-seed N [--chaos-faults N] (seeded "
+                 "fault injection; deterministic per seed)\n",
                  argv0);
     std::exit(2);
 }
@@ -201,6 +230,28 @@ parseArgs(int argc, char **argv)
                 v == "auto" ? GpuConfig::tickThreadsAuto
                             : parseJobs(v.c_str(), "--tick-threads");
         }
+        else if (arg == "--rate")
+            opt.rate = std::strtod(next().c_str(), nullptr);
+        else if (arg == "--closed-loop")
+            opt.closedLoop = true;
+        else if (arg == "--horizon")
+            opt.horizon = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--quantum")
+            opt.quantum = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--max-batch")
+            opt.maxBatch = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--chaos-seed") {
+            opt.chaosSeed = std::strtoull(next().c_str(), nullptr, 10);
+            if (opt.chaosSeed == 0)
+                usage(argv[0]);
+        } else if (arg == "--chaos-faults")
+            opt.chaosFaults = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--slo")
+            opt.sloPath = next();
         else if (arg == "--csv")
             opt.csvPath = next();
         else if (arg == "--json")
@@ -551,6 +602,133 @@ cmdCorun(const Options &opt)
 }
 
 int
+cmdServe(const Options &opt)
+{
+    if (!opt.benchNames.empty())
+        usage("wslicer-sim");
+    ServeOptions so;
+    so.cfg = makeConfig(opt);
+    if (opt.policy == "leftover")
+        so.kind = PolicyKind::LeftOver;
+    else if (opt.policy == "spatial")
+        so.kind = PolicyKind::Spatial;
+    else if (opt.policy == "even")
+        so.kind = PolicyKind::Even;
+    else if (opt.policy == "dynamic")
+        so.kind = PolicyKind::Dynamic;
+    else
+        fatal("serve supports leftover|spatial|even|dynamic, not ",
+              opt.policy);
+    so.window = opt.cycles;
+    so.horizon = opt.horizon;
+    so.quantum = opt.quantum;
+    so.maxBatch = opt.maxBatch;
+    so.seed = opt.seed;
+    so.arrivals.mode = opt.closedLoop
+                           ? ArrivalConfig::Mode::ClosedLoop
+                           : ArrivalConfig::Mode::OpenPoisson;
+    so.arrivals.ratePer10k = opt.rate;
+    so = resolveServeOptions(so);
+    if (opt.chaosSeed != 0)
+        so.chaos = FaultPlan::seeded(
+            opt.chaosSeed, opt.chaosFaults, so.horizon,
+            static_cast<unsigned>(so.classes.size()));
+    DecisionLog decisions;
+    if (!opt.decisionLogPath.empty())
+        so.decisionLog = &decisions;
+
+    const ServeResult r = runServe(so);
+
+    Table table({"metric", "value"});
+    table.addRow({"policy", opt.policy});
+    table.addRow({"arrival_mode",
+                  opt.closedLoop ? "closed-loop" : "open-poisson"});
+    table.addRow({"seed", std::to_string(so.seed)});
+    table.addRow({"horizon_cycles", std::to_string(so.horizon)});
+    table.addRow({"end_cycle", std::to_string(r.endCycle)});
+    table.addRow({"requests", std::to_string(r.jobs.size())});
+    std::uint64_t completed = 0, goodput = 0, rejected = 0, shed = 0,
+                  timed_out = 0, failed = 0, pending = 0;
+    for (std::size_t t = 0; t < r.slo.numClasses(); ++t) {
+        const ClassSlo &s = r.slo.of(static_cast<unsigned>(t));
+        completed += s.completed;
+        goodput += s.goodput;
+        rejected += s.rejectedQueueFull + s.rejectedQuarantined +
+                    s.rejectedMalformed;
+        shed += s.shed;
+        timed_out += s.timedOut;
+        failed += s.failed;
+        pending += s.pendingAtEnd;
+    }
+    table.addRow({"completed", std::to_string(completed)});
+    table.addRow({"goodput", std::to_string(goodput)});
+    table.addRow({"rejected", std::to_string(rejected)});
+    table.addRow({"shed", std::to_string(shed)});
+    table.addRow({"timed_out", std::to_string(timed_out)});
+    table.addRow({"failed", std::to_string(failed)});
+    table.addRow({"in_flight_at_end", std::to_string(pending)});
+    table.addRow({"fairness_index", Table::num(r.fairness)});
+    table.addRow({"slices", std::to_string(r.slices)});
+    table.addRow({"rebuilds", std::to_string(r.rebuilds)});
+    table.addRow({"live_launches", std::to_string(r.liveLaunches)});
+    table.addRow({"preemptions", std::to_string(r.preemptions)});
+    table.addRow({"faults_injected",
+                  std::to_string(r.faultsInjected)});
+    table.addRow({"snapshots", std::to_string(r.snapshots)});
+    table.addRow({"restores", std::to_string(r.restores)});
+    table.addRow({"retries", std::to_string(r.retries)});
+    std::string quarantined;
+    for (const std::string &name : r.quarantinedClasses)
+        quarantined += (quarantined.empty() ? "" : ",") + name;
+    table.addRow({"quarantined",
+                  quarantined.empty() ? "none" : quarantined});
+    table.addRow({"invariant_violations",
+                  std::to_string(r.invariantViolations)});
+    emit(opt, table);
+
+    if (!opt.sloPath.empty()) {
+        std::ofstream os(opt.sloPath);
+        if (!os)
+            fatal("cannot open ", opt.sloPath);
+        r.slo.writeJson(os);
+        std::printf("(wrote %s)\n", opt.sloPath.c_str());
+    }
+    if (!opt.decisionLogPath.empty()) {
+        std::ofstream os(opt.decisionLogPath);
+        if (!os)
+            fatal("cannot open ", opt.decisionLogPath);
+        decisions.writeJson(os);
+        std::printf("(wrote %s, %zu decisions)\n",
+                    opt.decisionLogPath.c_str(),
+                    decisions.entries().size());
+    }
+    if (!opt.manifestPath.empty() || !opt.promPath.empty()) {
+        CounterRegistry registry;
+        r.slo.registerCounters(registry);
+        registerHarnessCounters(registry);
+        if (!opt.promPath.empty()) {
+            std::ofstream os(opt.promPath);
+            if (!os)
+                fatal("cannot open ", opt.promPath);
+            registry.writePrometheus(os);
+            std::printf("(wrote %s)\n", opt.promPath.c_str());
+        }
+        if (!opt.manifestPath.empty()) {
+            std::ofstream os(opt.manifestPath);
+            if (!os)
+                fatal("cannot open ", opt.manifestPath);
+            RunManifest m = buildRunManifest(
+                "wslicer-sim serve", so.cfg, &registry, r.endCycle);
+            m.writeJson(os);
+            std::printf("(wrote %s)\n", opt.manifestPath.c_str());
+        }
+    }
+    // The chaos gate: injected faults must be survived gracefully;
+    // an *organic* invariant violation is a real engine bug.
+    return r.invariantViolations == 0 ? 0 : 1;
+}
+
+int
 cmdCombos(const Options &opt)
 {
     if (opt.benchNames.size() != 2)
@@ -587,9 +765,10 @@ cmdCombos(const Options &opt)
             table.addRow({std::to_string(combos[i][0]),
                           std::to_string(combos[i][1]),
                           "failed(" + r.error.kind + ")", "-"});
-            std::fprintf(stderr, "combo %d,%d failed (%s): %s\n",
+            std::fprintf(stderr,
+                         "combo %d,%d failed (%s, %u retries): %s\n",
                          combos[i][0], combos[i][1],
-                         r.error.kind.c_str(),
+                         r.error.kind.c_str(), r.error.retries,
                          r.error.message.c_str());
             continue;
         }
@@ -627,6 +806,8 @@ main(int argc, char **argv)
             rc = cmdCorun(opt);
         else if (opt.command == "combos")
             rc = cmdCombos(opt);
+        else if (opt.command == "serve")
+            rc = cmdServe(opt);
         else
             usage(argv[0]);
     } catch (const SimError &e) {
